@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure. The rendered output
+is also written to ``benchmarks/output/`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+reproduced tables on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Scale/steps used when profiling workloads inside benchmarks. Small
+#: enough for minutes-long total runtime, large enough for stable rates.
+BENCH_SCALE = 0.03
+BENCH_STEPS = 200
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def workload_profiles():
+    """Profile all ten workloads once per benchmark session."""
+    from repro.experiments.common import profile_workload
+    from repro.workloads import workload_names
+
+    return {
+        name: profile_workload(name, scale=BENCH_SCALE, steps=BENCH_STEPS)
+        for name in workload_names()
+    }
+
+
+def write_output(output_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist one regenerated table/figure."""
+    (output_dir / name).write_text(text + "\n")

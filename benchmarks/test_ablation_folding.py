@@ -1,0 +1,72 @@
+"""Ablation: folding trade-off — array size vs microprogram length.
+
+The paper fixes 12 baseline neurons vs 72 folded neurons from the
+5.43x area ratio. This ablation sweeps equal-area folded arrays across
+microprogram lengths, mapping where the folded design stops winning —
+the general form of the Destexhe crossover of Section VI-C. Output:
+``benchmarks/output/ablation_folding.txt``.
+"""
+
+from repro.costmodel.synthesis import (
+    synthesize_flexon_neuron,
+    synthesize_folded_neuron,
+)
+from repro.experiments.common import format_table
+from repro.hardware.array import FlexonArray, FoldedFlexonArray
+
+from benchmarks.conftest import write_output
+
+N_LOGICAL = 10_000
+
+
+def _crossover_table():
+    """Latency ratio (folded/flexon) per microprogram length."""
+    flexon_area = synthesize_flexon_neuron().area_um2
+    folded_area = synthesize_folded_neuron().area_um2
+    # Equal-silicon sizing, like the paper's 12 vs 72 (5.43x ratio).
+    n_folded = int(12 * flexon_area / folded_area)
+    flexon = FlexonArray(12)
+    folded = FoldedFlexonArray(n_folded)
+    rows = []
+    for signals in (1, 3, 7, 10, 12, 15, 20):
+        flexon_latency = flexon.step_latency_seconds(N_LOGICAL)
+        folded_latency = folded.step_latency_seconds(
+            N_LOGICAL, cycles_per_neuron=signals
+        )
+        rows.append(
+            (
+                signals,
+                f"{folded_latency * 1e6:.2f}",
+                f"{flexon_latency * 1e6:.2f}",
+                f"{folded_latency / flexon_latency:.2f}",
+            )
+        )
+    return n_folded, rows
+
+
+def test_folding_crossover(benchmark, output_dir):
+    n_folded, rows = benchmark(_crossover_table)
+    # The equal-area folded array holds ~5-6x the neurons.
+    assert 60 <= n_folded <= 76
+    ratios = [float(row[3]) for row in rows]
+    # Short programs: folded wins clearly; very long programs: the
+    # single-cycle baseline wins — the Destexhe regime.
+    assert ratios[0] < 0.8
+    assert ratios[-1] > 1.0
+    # Monotone: each extra signal costs the folded array throughput.
+    assert ratios == sorted(ratios)
+    text = format_table(
+        [
+            "Microprogram signals",
+            "Folded us/step",
+            "Flexon us/step",
+            "Folded/Flexon",
+        ],
+        rows,
+    )
+    write_output(
+        output_dir,
+        "ablation_folding.txt",
+        f"Equal-area arrays: 12 Flexon vs {n_folded} folded neurons, "
+        f"{N_LOGICAL} logical neurons\n\n" + text,
+    )

@@ -1,0 +1,35 @@
+"""Extension benchmark: end-to-end (whole-step) speedup analysis.
+
+Combines the Figure 3 phase model with the Figure 13 array latencies
+to answer what Flexon buys per *whole* time step, bounded by Amdahl's
+law over the host-side phases. Output:
+``benchmarks/output/amdahl.txt``.
+"""
+
+from repro.experiments.amdahl import evaluate, format_amdahl
+
+from benchmarks.conftest import write_output
+
+
+def _evaluate_all(profiles):
+    return [evaluate(profile) for profile in profiles.values()]
+
+
+def test_end_to_end_amdahl(benchmark, workload_profiles, output_dir):
+    rows = benchmark(_evaluate_all, workload_profiles)
+    by_name = {row.workload: row for row in rows}
+
+    for row in rows:
+        # End-to-end gains never exceed the Amdahl bound, and the
+        # neuron-phase speedup always exceeds the end-to-end one.
+        assert row.end_to_end_speedup <= row.amdahl_bound * 1.0001
+        assert row.neuron_speedup > row.end_to_end_speedup
+        assert row.end_to_end_speedup > 1.0
+
+    # Neuron-bound RKF45 workloads gain far more end to end than the
+    # synapse-bound Euler ones — the Figure 3 motivation, quantified.
+    assert (
+        by_name["Destexhe-UpDown"].end_to_end_speedup
+        > 3 * by_name["Izhikevich"].end_to_end_speedup
+    )
+    write_output(output_dir, "amdahl.txt", format_amdahl(rows))

@@ -1,0 +1,48 @@
+"""Extension benchmark: neuronal behaviour regimes on Flexon.
+
+Regenerates the behaviour demonstrations (the "Izhikevich's model
+emulates 20 neuronal behaviors ... Flexon fully supports" claim, made
+executable for a representative subset) and writes ASCII rasters.
+Output: ``benchmarks/output/behaviors.txt``.
+"""
+
+import numpy as np
+
+from repro.experiments.behaviors import PRESETS, burstiness, run_behavior
+
+from benchmarks.conftest import write_output
+
+
+def _run_all():
+    return {
+        name: run_behavior(preset)
+        for name, preset in PRESETS.items()
+        if name != "class-1 excitability"
+    }
+
+
+def _raster(spikes, steps, width=90):
+    bins = np.zeros(width, dtype=bool)
+    for step in spikes:
+        bins[min(width - 1, step * width // steps)] = True
+    return "".join("|" if hit else "." for hit in bins)
+
+
+def test_behavior_regimes(benchmark, output_dir):
+    trains = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    tonic = np.diff(trains["tonic spiking"])
+    assert tonic.std() / tonic.mean() < 0.05  # clockwork
+    assert max(trains["phasic spiking"]) < 1500  # onset only
+    adaptation = np.diff(trains["spike-frequency adaptation"])
+    assert adaptation[-1] > 1.5 * adaptation[0]
+    assert burstiness(trains["mixed mode"]) > 1.0
+    ceiling = trains["refractory ceiling"]
+    assert np.diff(ceiling).min() >= 100  # the AR dead time
+
+    lines = []
+    for name, train in trains.items():
+        steps = PRESETS[name].steps
+        lines.append(f"{name:28s} {_raster(train, steps)}  "
+                     f"{len(train)} spikes / {steps * 1e-4:.1f} s")
+    write_output(output_dir, "behaviors.txt", "\n".join(lines))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 12 (data path / design area & power).
+
+Output: ``benchmarks/output/figure12.txt``.
+"""
+
+from repro.experiments.figure12 import format_figure12, run
+
+from benchmarks.conftest import write_output
+
+
+def test_figure12_synthesis(benchmark, output_dir):
+    result = benchmark(run)
+    assert 5.0 <= result.area_ratio <= 6.2  # paper: up to 5.84x
+    assert result.power_ratio <= 3.44  # paper: up to 3.44x
+    costs = result.datapaths
+    assert min(costs, key=lambda k: costs[k].area_um2) == "AR"
+    assert result.folded.area_um2 < costs["EXI"].area_um2
+    assert result.folded.area_um2 < costs["RR"].area_um2
+    write_output(output_dir, "figure12.txt", format_figure12(result))

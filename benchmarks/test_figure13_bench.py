@@ -1,0 +1,62 @@
+"""Benchmark: regenerate Figure 13 (speedups and energy efficiency).
+
+The headline result. Times the full-platform evaluation of all ten
+workloads; asserts the paper's shapes (who wins, roughly by how much,
+and the Destexhe crossover). Output: ``benchmarks/output/figure13.txt``.
+"""
+
+from repro.experiments.figure13 import (
+    evaluate_workload,
+    format_figure13,
+    geomean_efficiency,
+    geomean_speedups,
+)
+
+from benchmarks.conftest import write_output
+
+
+def _evaluate_all(profiles):
+    return [evaluate_workload(profile) for profile in profiles.values()]
+
+
+def test_figure13_speedups_and_efficiency(
+    benchmark, workload_profiles, output_dir
+):
+    rows = benchmark(_evaluate_all, workload_profiles)
+
+    # Every workload: both arrays beat both hosts.
+    for row in rows:
+        speedups = row.speedups()
+        assert speedups["flexon_vs_cpu"] > 5, row.workload
+        assert speedups["flexon_vs_gpu"] > 1, row.workload
+        assert speedups["folded_vs_cpu"] > 5, row.workload
+
+    # The Destexhe crossover (Section VI-C): the single-cycle design
+    # wins exactly where the AdEx microprograms are long.
+    for row in rows:
+        speedups = row.speedups()
+        if row.workload.startswith("Destexhe"):
+            assert speedups["flexon_vs_cpu"] > speedups["folded_vs_cpu"]
+
+    # Folded wins latency on the clear majority of workloads.
+    folded_wins = sum(
+        1
+        for row in rows
+        if row.speedups()["folded_vs_cpu"] > row.speedups()["flexon_vs_cpu"]
+    )
+    assert folded_wins >= 7
+
+    # Geomeans in the paper's bands (order-of-magnitude fidelity).
+    speed = geomean_speedups(rows)
+    assert 40 <= speed["flexon_vs_cpu"] <= 180  # paper 87.4x
+    assert 50 <= speed["folded_vs_cpu"] <= 250  # paper 122.5x
+    assert speed["folded_vs_cpu"] > speed["flexon_vs_cpu"]
+    assert 2 <= speed["flexon_vs_gpu"] <= 20  # paper 8.19x
+
+    efficiency = geomean_efficiency(rows)
+    assert 3_000 <= efficiency["flexon_vs_cpu"] <= 15_000  # paper 6186x
+    assert 3_000 <= efficiency["folded_vs_cpu"] <= 15_000  # paper 5415x
+    # The single-cycle design wins energy efficiency (Section VI-C).
+    assert efficiency["flexon_vs_cpu"] > efficiency["folded_vs_cpu"]
+
+    write_output(output_dir, "figure13.txt", format_figure13(rows))

@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Table I and Figure 3.
+
+Figure 3 is the motivation experiment: per-phase latency breakdown of
+all ten SNNs on the CPU (NEST) and GPU (GeNN) models. The benchmark
+times the per-workload breakdown computation; the full rendered figure
+is written to ``benchmarks/output/figure3.txt``.
+"""
+
+from repro.costmodel.cpu_gpu import CPU_SPEC, GPU_SPEC
+from repro.experiments.figure3 import (
+    BreakdownRow,
+    breakdown_for,
+    format_figure3,
+    table1_inventory,
+)
+
+from benchmarks.conftest import write_output
+
+
+def _all_rows(profiles):
+    rows = []
+    for name, profile in profiles.items():
+        rows.append(BreakdownRow(name, "CPU", breakdown_for(profile, CPU_SPEC)))
+        rows.append(
+            BreakdownRow(name, "GPU", breakdown_for(profile, GPU_SPEC, gpu=True))
+        )
+    return rows
+
+
+def test_figure3_breakdown(benchmark, workload_profiles, output_dir):
+    rows = benchmark(_all_rows, workload_profiles)
+    # Paper shape: RKF45 CPU workloads are neuron-computation bound.
+    by_key = {(r.workload, r.platform): r for r in rows}
+    assert by_key[("Vogels et al.", "CPU")].neuron_fraction > 0.5
+    assert by_key[("Brette et al.", "CPU")].neuron_fraction > 0.5
+    # Euler keeps the share below the same-model RKF45 rows ("Employing
+    # Euler method instead of RKF45 (e.g., Brunel) reduces the
+    # proportion of neuron computation").
+    assert (
+        by_key[("Brunel", "CPU")].neuron_fraction
+        < by_key[("Vogels-Abbott", "CPU")].neuron_fraction
+    )
+    assert by_key[("Izhikevich", "CPU")].neuron_fraction < 0.5
+    assert by_key[("Potjans-Diesmann", "CPU")].neuron_fraction < 0.5
+    # The GPU keeps neuron computation material but not dominant.
+    for name in workload_profiles:
+        assert 0.05 < by_key[(name, "GPU")].neuron_fraction < 0.6
+    text = table1_inventory() + "\n\n" + format_figure3(rows)
+    write_output(output_dir, "table1_figure3.txt", text)

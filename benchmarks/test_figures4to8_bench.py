@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Figures 4-8 (feature behaviour sketches).
+
+The traces come from the fixed-point Flexon hardware model, so this
+doubles as a behavioural regression check on the data paths. Output:
+``benchmarks/output/figures4to8.txt``.
+"""
+
+import numpy as np
+
+from repro.experiments.figures4to8 import format_figures, run, spike_count
+
+from benchmarks.conftest import write_output
+
+
+def test_figures4_to_8(benchmark, output_dir):
+    traces = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Figure 4: EXD decays with shrinking increments, LID constantly.
+    exd = np.asarray(traces["figure4"]["EXD (exponential)"])
+    lid = np.asarray(traces["figure4"]["LID (linear)"])
+    exd_steps = -np.diff(exd[:200])
+    lid_steps = -np.diff(lid[:200])
+    assert exd_steps[0] > exd_steps[-1] > 0
+    assert np.allclose(lid_steps, lid_steps[0], atol=1e-6)
+
+    # Figure 5: peak response arrives later for COBE, later still COBA.
+    f5 = traces["figure5"]
+    assert np.argmax(f5["CUB (instant)"]) < np.argmax(f5["COBE (exponential)"])
+    assert np.argmax(f5["COBE (exponential)"]) < np.argmax(f5["COBA (alpha)"])
+
+    # Figure 6: instant initiation fires immediately; QDI/EXI ramp
+    # upward on their own before firing.
+    f6 = traces["figure6"]
+    assert f6["instant (LIF)"][0] < 0.1  # fired and reset at step 0
+    qdi = np.asarray(f6["QDI (quadratic)"])
+    assert qdi[:5].max() < qdi[5:60].max()  # still climbing after start
+
+    # Figure 7: adaptation reduces the firing rate vs plain LIF; SBT
+    # settles near the oscillation level rather than resting at zero.
+    f7 = traces["figure7"]
+    assert spike_count(f7["ADT (adaptation)"]) < spike_count(f7["plain LIF"])
+    assert 0.2 < np.mean(f7["SBT (oscillation, no input)"][-500:]) < 0.6
+
+    # Figure 8: both refractory kinds cut the firing rate under the
+    # same strong drive (which cuts harder depends on the constants).
+    f8 = traces["figure8"]
+    base = spike_count(f8["no refractory"])
+    ar = spike_count(f8["AR (absolute)"])
+    rr = spike_count(f8["RR (relative)"])
+    assert ar < base
+    assert rr < base
+
+    write_output(output_dir, "figures4to8.txt", format_figures(traces))

@@ -1,0 +1,70 @@
+"""Extension benchmark: STDP learning with neurons on Flexon.
+
+Times the full training loop of the unsupervised pattern-learning task
+(see ``examples/stdp_pattern_learning.py``) with neuron computation on
+the folded-Flexon backend, and asserts the learning outcome: the
+readout becomes selective to the embedded pattern. Output:
+``benchmarks/output/stdp_learning.txt``.
+"""
+
+import numpy as np
+
+from repro.experiments.common import format_table
+from repro.hardware import FoldedFlexonBackend
+from repro.network import Network, PatternStimulus, PoissonStimulus, Simulator
+from repro.plasticity import PairSTDP
+
+from benchmarks.conftest import write_output
+
+DT = 1e-4
+TRAIN_STEPS = 15_000
+N_PATTERN, N_NOISE = 20, 40
+
+
+def _train():
+    net = Network("stdp-bench")
+    inputs = net.add_population("inputs", N_PATTERN + N_NOISE, "LIF")
+    net.add_population("readout", 4, "LIF")
+    projection = net.connect(
+        "inputs", "readout", probability=1.0, weight=4.0, delay_steps=1
+    )
+    pattern = list(range(N_PATTERN))
+    net.add_stimulus(
+        PatternStimulus(inputs, {0: pattern, 2: pattern}, weight=300.0,
+                        period=300)
+    )
+    net.add_stimulus(
+        PoissonStimulus(
+            inputs, rate_hz=66.0, weight=300.0, dt=DT,
+            neuron_slice=slice(N_PATTERN, N_PATTERN + N_NOISE),
+        )
+    )
+    rule = PairSTDP(
+        a_plus=0.10, a_minus=0.055, tau_plus=10e-3, tau_minus=30e-3,
+        w_min=0.0, w_max=12.0,
+    )
+    net.add_plasticity(projection, rule)
+    Simulator(net, FoldedFlexonBackend(DT), dt=DT, seed=21).run(TRAIN_STEPS)
+    pre_of = projection.pre_of_synapses()
+    pattern_w = float(projection.weights[pre_of < N_PATTERN].mean())
+    noise_w = float(projection.weights[pre_of >= N_PATTERN].mean())
+    return pattern_w, noise_w
+
+
+def test_stdp_pattern_learning(benchmark, output_dir):
+    pattern_w, noise_w = benchmark.pedantic(_train, rounds=1, iterations=1)
+    # After 1.5 s the pattern channels dominate the noise channels.
+    assert pattern_w > noise_w
+    assert noise_w < 4.0
+    assert pattern_w / max(noise_w, 1e-9) > 1.5
+    rows = [
+        ("pattern channels (mean weight)", f"{pattern_w:.2f}"),
+        ("noise channels (mean weight)", f"{noise_w:.2f}"),
+        ("selectivity", f"{pattern_w / max(noise_w, 1e-9):.1f}x"),
+        ("training duration", f"{TRAIN_STEPS * DT:.1f} s biological"),
+    ]
+    write_output(
+        output_dir,
+        "stdp_learning.txt",
+        format_table(["Metric", "Value"], rows),
+    )

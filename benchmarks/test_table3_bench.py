@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table III with executable verification.
+
+Times the full verification sweep (all 12 models: fixed-point hardware
+vs float reference plus design bit-equivalence). Output:
+``benchmarks/output/table3.txt``.
+"""
+
+from repro.experiments.table3 import format_matrix, format_verification, run
+
+from benchmarks.conftest import write_output
+
+
+def test_table3_verification(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        run, kwargs={"steps": 400, "n": 16}, rounds=1, iterations=1
+    )
+    assert len(rows) == 12
+    assert all(row.bit_exact for row in rows)
+    assert all(row.spike_match >= 0.97 for row in rows)
+    assert all(row.hardware_spikes > 0 for row in rows)
+    text = format_matrix() + "\n\n" + format_verification(rows)
+    write_output(output_dir, "table3.txt", text)

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table V (control signals / microprograms).
+
+Times microprogram assembly for every Table V combination plus every
+Table III model. Output: ``benchmarks/output/table5.txt``.
+"""
+
+from repro.experiments.table5 import format_table5, run, signals_per_model
+
+from benchmarks.conftest import write_output
+
+
+def _assemble_everything():
+    rows = run()
+    counts = signals_per_model()
+    return rows, counts
+
+
+def test_table5_microprograms(benchmark, output_dir):
+    rows, counts = benchmark(_assemble_everything)
+    by_label = {row.label: row for row in rows}
+    # Section V-B's examples:
+    assert by_label["CUB + EXD (LIF)"].n_signals == 1
+    assert by_label["CUB + EXD (LIF)"].single_neuron_cycles == 2
+    # Model-level counts (2 synapse types).
+    assert counts["LIF"] == 2
+    assert counts["DLIF"] == 7
+    assert counts["AdEx"] == 11
+    model_lines = "\n".join(
+        f"{name:24s} {count:2d} signals" for name, count in counts.items()
+    )
+    text = (
+        format_table5(rows)
+        + "\n\nSignals per Table III model (2 synapse types):\n"
+        + model_lines
+    )
+    write_output(output_dir, "table5.txt", text)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table VI (array area and power).
+
+Output: ``benchmarks/output/table6.txt``.
+"""
+
+import pytest
+
+from repro.experiments.table6 import format_table6, run
+
+from benchmarks.conftest import write_output
+
+
+def test_table6_arrays(benchmark, output_dir):
+    result = benchmark(run)
+    # Shapes: similar/smaller folded footprint, SRAM dominance,
+    # folded power higher; totals within 15/25% of the paper.
+    assert result.folded.total_area_mm2 < result.flexon.total_area_mm2
+    assert result.flexon.sram_area_mm2 > result.flexon.neuron_area_mm2
+    assert result.folded.total_power_w > result.flexon.total_power_w
+    assert result.flexon.total_area_mm2 == pytest.approx(9.258, rel=0.15)
+    assert result.folded.total_area_mm2 == pytest.approx(7.618, rel=0.15)
+    assert result.flexon.total_power_w == pytest.approx(0.881, rel=0.25)
+    assert result.folded.total_power_w == pytest.approx(1.484, rel=0.25)
+    write_output(output_dir, "table6.txt", format_table6(result))

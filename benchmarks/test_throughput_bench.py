@@ -1,0 +1,59 @@
+"""Benchmark: raw software throughput of the three simulation engines.
+
+Not a paper figure — this measures the *reproduction's* own simulation
+speed (neuron-updates per second) for the reference float model and
+both fixed-point hardware models, so regressions in the vectorised
+kernels are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FLEXON_FORMAT, fx_from_float
+from repro.hardware.compiler import FlexonCompiler
+from repro.models.registry import create_model
+
+DT = 1e-4
+N = 2_000
+STEPS = 50
+
+
+@pytest.fixture(scope="module")
+def stimulus():
+    rng = np.random.default_rng(0)
+    return (rng.random((STEPS, 2, N)) < 0.05) * 1.5
+
+
+def test_reference_model_throughput(benchmark, stimulus):
+    model = create_model("AdEx")
+    state = model.initial_state(N)
+
+    def run():
+        for step in range(STEPS):
+            model.step(state, stimulus[step], DT)
+
+    benchmark(run)
+
+
+def test_flexon_model_throughput(benchmark, stimulus):
+    compiled = FlexonCompiler().compile(create_model("AdEx"), DT)
+    neuron = compiled.instantiate_flexon(N)
+    raw = fx_from_float(stimulus * compiled.weight_scale, FLEXON_FORMAT)
+
+    def run():
+        for step in range(STEPS):
+            neuron.step(raw[step])
+
+    benchmark(run)
+
+
+def test_folded_model_throughput(benchmark, stimulus):
+    compiled = FlexonCompiler().compile(create_model("AdEx"), DT)
+    neuron = compiled.instantiate_folded(N)
+    raw = fx_from_float(stimulus * compiled.weight_scale, FLEXON_FORMAT)
+
+    def run():
+        for step in range(STEPS):
+            neuron.step(raw[step])
+
+    benchmark(run)

@@ -1,0 +1,24 @@
+"""Benchmark: the Section VI-A functional verification sweep.
+
+Runs every workload on the reference, baseline-Flexon, and folded
+backends and compares spike trains. Output:
+``benchmarks/output/validation.txt``.
+"""
+
+from repro.experiments.validation import format_validation, run
+
+from benchmarks.conftest import write_output
+
+
+def test_section6a_validation(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        run, kwargs={"scale": 0.03, "steps": 400}, rounds=1, iterations=1
+    )
+    assert len(rows) == 10
+    # The two designs are bit-identical on every workload.
+    assert all(row.designs_identical for row in rows)
+    # Population statistics survive fixed point.
+    assert all(row.count_agreement >= 0.85 for row in rows)
+    # Before chaotic divergence compounds, trains coincide.
+    assert all(row.early_overlap >= 0.7 for row in rows)
+    write_output(output_dir, "validation.txt", format_validation(rows))

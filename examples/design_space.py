@@ -1,0 +1,85 @@
+"""Design-space exploration around the paper's two array designs.
+
+Sweeps the number of physical neurons in each array style under an
+equal-silicon budget and reports, per Table III model, which design
+delivers lower neuron-computation latency — generalising the paper's
+"folded usually wins, except for long microprograms" observation
+(Section VI-C) beyond the fixed 12-vs-72 configuration.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.costmodel.synthesis import (
+    synthesize_flexon_neuron,
+    synthesize_folded_neuron,
+)
+from repro.experiments.common import format_table
+from repro.features import MODEL_FEATURES
+from repro.hardware import FlexonArray, FlexonCompiler, FoldedFlexonArray
+from repro.models import create_model
+
+DT = 1e-4
+N_LOGICAL = 10_000
+
+
+def main() -> None:
+    flexon_cost = synthesize_flexon_neuron()
+    folded_cost = synthesize_folded_neuron()
+    ratio = flexon_cost.area_um2 / folded_cost.area_um2
+    print(f"one Flexon neuron  : {flexon_cost.area_um2:,.0f} um^2, "
+          f"{flexon_cost.power_w * 1e3:.1f} mW")
+    print(f"one folded neuron  : {folded_cost.area_um2:,.0f} um^2, "
+          f"{folded_cost.power_w * 1e3:.1f} mW")
+    print(f"area ratio         : {ratio:.2f}x "
+          f"(the paper sizes 12 vs 72 from 5.43x)\n")
+
+    compiler = FlexonCompiler()
+    signals = {
+        name: compiler.compile(create_model(name), DT).program.n_signals
+        for name in MODEL_FEATURES
+    }
+
+    print(f"Latency per 0.1 ms step for {N_LOGICAL:,} logical neurons, "
+          f"equal-silicon arrays:\n")
+    rows = []
+    for n_flexon in (6, 12, 24):
+        n_folded = int(n_flexon * ratio)
+        flexon = FlexonArray(n_flexon)
+        folded = FoldedFlexonArray(n_folded)
+        flexon_us = flexon.step_latency_seconds(N_LOGICAL) * 1e6
+        for name, count in sorted(signals.items(), key=lambda kv: kv[1]):
+            folded_us = (
+                folded.step_latency_seconds(N_LOGICAL, cycles_per_neuron=count)
+                * 1e6
+            )
+            winner = "folded" if folded_us < flexon_us else "Flexon"
+            rows.append(
+                (
+                    f"{n_flexon} vs {n_folded}",
+                    name,
+                    count,
+                    f"{flexon_us:.1f}",
+                    f"{folded_us:.1f}",
+                    winner,
+                )
+            )
+    print(
+        format_table(
+            [
+                "Array sizes",
+                "Model",
+                "Signals",
+                "Flexon us",
+                "Folded us",
+                "Winner",
+            ],
+            rows,
+        )
+    )
+    print("\nLong microprograms (AdEx with 3 synapse types, gsfa_grr) are "
+          "where the single-cycle design catches up — the Destexhe "
+          "crossover of Figure 13.")
+
+
+if __name__ == "__main__":
+    main()

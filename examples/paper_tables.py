@@ -1,0 +1,67 @@
+"""Regenerate every paper table and figure in one run.
+
+The one-stop reproduction script: prints Table I, Figure 3, Table III
+(matrix + executable verification), Table V, Figure 12, Table VI,
+Figure 13, and the Section VI-A validation, in paper order.
+
+Run:  python examples/paper_tables.py [--scale 0.05] [--steps 300]
+(Default scale keeps the run to a few minutes; larger scales sharpen
+the measured rates.)
+"""
+
+import argparse
+
+from repro.experiments import figure3, figure12, figure13, figures4to8
+from repro.experiments import table3, table5, table6, validation
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.03)
+    parser.add_argument("--steps", type=int, default=400)
+    args = parser.parse_args()
+
+    banner("Table I: collected SNN workloads")
+    print(figure3.table1_inventory())
+
+    banner("Figure 3: per-phase latency breakdown (CPU & GPU models)")
+    rows3 = figure3.run(scale=args.scale, steps=args.steps)
+    print(figure3.format_figure3(rows3))
+
+    banner("Figures 4-8: feature behaviours (fixed-point hardware traces)")
+    print(figures4to8.format_figures(figures4to8.run()))
+
+    banner("Table III: feature combinations per neuron model")
+    print(table3.format_matrix())
+    print("\nExecutable verification (hardware vs float reference):\n")
+    print(table3.format_verification(table3.run(steps=args.steps)))
+
+    banner("Table V: folded-Flexon control signals")
+    print(table5.format_table5(table5.run()))
+
+    banner("Figure 12: power and area of data paths and both Flexons")
+    print(figure12.format_figure12(figure12.run()))
+
+    banner("Table VI: array area and power")
+    print(table6.format_table6(table6.run()))
+
+    banner("Figure 13: speedups and energy-efficiency improvements")
+    rows13 = figure13.run(scale=args.scale, steps=args.steps)
+    print(figure13.format_figure13(rows13))
+
+    banner("Section VI-A: output-spike verification vs software reference")
+    print(
+        validation.format_validation(
+            validation.run(scale=args.scale, steps=args.steps)
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Unsupervised pattern learning with STDP, neurons on Flexon.
+
+The paper motivates SNNs with unsupervised digit/object recognition via
+spike-timing-dependent plasticity, and its system split keeps synapse
+calculation (where STDP lives) on the host while Flexon accelerates
+neuron computation. This example runs exactly that split:
+
+* 60 input channels; channels 0-19 carry a *pattern* (they burst
+  together every 30 ms), channels 20-59 fire independent Poisson noise
+  at a matched mean rate;
+* one readout population of LIF neurons on the **folded-Flexon
+  backend** receives all channels through plastic synapses;
+* pair-based STDP potentiates the causally useful pattern channels and
+  depresses the noise channels — after training the readout is
+  selective to the pattern.
+
+Run:  python examples/stdp_pattern_learning.py
+"""
+
+import numpy as np
+
+from repro.hardware import FoldedFlexonBackend
+from repro.network import Network, PatternStimulus, PoissonStimulus, Simulator
+from repro.plasticity import PairSTDP
+
+DT = 1e-4
+TRAIN_STEPS = 40_000  # 4 s
+N_PATTERN = 20
+N_NOISE = 40
+N_INPUT = N_PATTERN + N_NOISE
+
+
+def build() -> tuple:
+    net = Network("stdp-learning")
+    inputs = net.add_population("inputs", N_INPUT, "LIF")
+    net.add_population("readout", 4, "LIF")
+    projection = net.connect(
+        "inputs", "readout", probability=1.0, weight=4.0, delay_steps=1
+    )
+    # The pattern: channels 0..19 burst together every 300 steps.
+    pattern_channels = list(range(N_PATTERN))
+    net.add_stimulus(
+        PatternStimulus(
+            inputs,
+            {0: pattern_channels, 2: pattern_channels},
+            weight=300.0,
+            period=300,
+        )
+    )
+    # Matched-rate independent noise on channels 20..59 (two pattern
+    # events per 300 steps ~ 66 Hz equivalent drive).
+    net.add_stimulus(
+        PoissonStimulus(
+            inputs,
+            rate_hz=66.0,
+            weight=300.0,
+            dt=DT,
+            neuron_slice=slice(N_PATTERN, N_INPUT),
+        )
+    )
+    rule = PairSTDP(
+        a_plus=0.10, a_minus=0.055, tau_plus=10e-3, tau_minus=30e-3,
+        w_min=0.0, w_max=12.0,
+    )
+    net.add_plasticity(projection, rule)
+    return net, projection, rule
+
+
+def channel_means(projection) -> tuple:
+    pre_of = projection.pre_of_synapses()
+    pattern = projection.weights[pre_of < N_PATTERN].mean()
+    noise = projection.weights[pre_of >= N_PATTERN].mean()
+    return pattern, noise
+
+
+def main() -> None:
+    net, projection, rule = build()
+    before = channel_means(projection)
+    print(f"initial weights: pattern {before[0]:.2f}, noise {before[1]:.2f}")
+
+    simulator = Simulator(net, FoldedFlexonBackend(DT), dt=DT, seed=21)
+    result = simulator.run(TRAIN_STEPS)
+    readout_rate = (
+        result.spikes.result("readout").n_spikes / 4 / (TRAIN_STEPS * DT)
+    )
+    after = channel_means(projection)
+    print(f"after {TRAIN_STEPS * DT:.1f} s of training "
+          f"(readout at {readout_rate:.1f} Hz):")
+    print(f"  pattern channels: {after[0]:.2f}  "
+          f"({after[0] - before[0]:+.2f})")
+    print(f"  noise channels  : {after[1]:.2f}  "
+          f"({after[1] - before[1]:+.2f})")
+    selectivity = after[0] / max(after[1], 1e-9)
+    print(f"  selectivity (pattern/noise): {selectivity:.1f}x")
+    if selectivity > 1.5:
+        print("\nThe readout became pattern-selective: STDP potentiated the "
+              "correlated channels\nwhile the noise channels drifted down — "
+              "with every neuron update running on the\nfixed-point folded-"
+              "Flexon model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Vogels-Abbott on all three backends, with phase profiling.
+
+Reproduces the paper's methodology end to end on one Table I workload:
+build the Vogels-Abbott network (DLIF, conductance-based, self-
+sustained irregular activity), run it on the float reference and both
+digital-neuron backends, verify the spike statistics agree and the two
+hardware designs agree *exactly*, and show the modeled neuron-
+computation latency of each platform for one time step at full scale
+(a single row of Figure 13).
+
+Run:  python examples/vogels_abbott_network.py
+"""
+
+from repro.costmodel.cpu_gpu import CPU_SPEC, GPU_SPEC, neuron_phase_latency
+from repro.experiments.common import profile_workload
+from repro.hardware import (
+    FlexonArray,
+    FlexonBackend,
+    FlexonCompiler,
+    FoldedFlexonArray,
+    FoldedFlexonBackend,
+)
+from repro.network import ReferenceBackend, Simulator
+from repro.workloads import build_workload, get_spec
+
+DT = 1e-4
+SCALE = 0.05
+STEPS = 2_000
+
+
+def main() -> None:
+    spec = get_spec("Vogels-Abbott")
+    print(f"Workload: {spec}\n")
+
+    results = {}
+    for label, backend in (
+        ("reference (Euler)", ReferenceBackend("Euler")),
+        ("baseline Flexon", FlexonBackend(DT)),
+        ("folded Flexon", FoldedFlexonBackend(DT)),
+    ):
+        network = build_workload("Vogels-Abbott", scale=SCALE, seed=3)
+        result = Simulator(network, backend, dt=DT, seed=4).run(STEPS)
+        rate = result.total_spikes() / network.n_neurons / (STEPS * DT)
+        results[label] = result
+        print(f"{label:18s}: {result.total_spikes():6d} spikes "
+              f"({rate:.1f} Hz)")
+
+    flexon_spikes = {
+        name: results["baseline Flexon"].spikes.result(name).spike_pairs()
+        for name in ("exc", "inh")
+    }
+    folded_spikes = {
+        name: results["folded Flexon"].spikes.result(name).spike_pairs()
+        for name in ("exc", "inh")
+    }
+    print(f"\nbaseline == folded spike trains: {flexon_spikes == folded_spikes}")
+
+    # One Figure 13 row: full-scale neuron-computation latency.
+    profile = profile_workload("Vogels-Abbott", scale=SCALE, steps=400)
+    n = spec.paper_neurons
+    network = build_workload("Vogels-Abbott", scale=0.01, seed=0)
+    model = next(iter(network.populations.values())).model
+    signals = FlexonCompiler().compile(model, DT).program.n_signals
+    platforms = {
+        "CPU (NEST, RKF45)": neuron_phase_latency(
+            CPU_SPEC, n, profile.ops_per_update, profile.evaluations_per_step
+        ),
+        "GPU (GeNN, Euler)": neuron_phase_latency(
+            GPU_SPEC, n, profile.ops_per_update, 1.0
+        ),
+        "Flexon array (12)": FlexonArray().step_latency_seconds(n),
+        "folded array (72)": FoldedFlexonArray().step_latency_seconds(
+            n, cycles_per_neuron=signals
+        ),
+    }
+    print(f"\nModeled neuron-computation latency per 0.1 ms step "
+          f"({n:,} neurons, DLIF = {signals} folded signals):")
+    for label, latency in platforms.items():
+        print(f"  {label:18s} {latency * 1e6:9.2f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Flexon: a flexible digital neuron for efficient SNN simulations.
+
+A complete Python reproduction of Lee et al., ISCA 2018. The package
+splits into:
+
+* :mod:`repro.features` — the 12 biologically common features and the
+  Table III model catalog (the paper's core observation);
+* :mod:`repro.models` — float reference implementations of every
+  neuron model (the Brian/NEST substitute);
+* :mod:`repro.solvers` — forward Euler and adaptive RKF45;
+* :mod:`repro.network` — populations, projections, stimuli, and the
+  three-phase time-step simulator;
+* :mod:`repro.fixedpoint` — the 32-bit fixed-point substrate and the
+  Schraudolph fast exponential;
+* :mod:`repro.hardware` — bit-accurate functional models of baseline
+  Flexon (Figure 10) and spatially folded Flexon (Figure 11, microcoded
+  per Tables IV/V), the compiler, and array timing models;
+* :mod:`repro.costmodel` — calibrated 45 nm synthesis, SRAM, CPU and
+  GPU cost models;
+* :mod:`repro.workloads` — the ten Table I SNNs, scalable;
+* :mod:`repro.experiments` — harnesses regenerating every evaluation
+  table and figure.
+
+Quickstart::
+
+    from repro import Network, PoissonStimulus, Simulator
+    from repro.hardware import FoldedFlexonBackend
+
+    net = Network("demo")
+    pop = net.add_population("exc", 100, "LIF")
+    net.connect("exc", "exc", probability=0.1, weight=20.0)
+    net.add_stimulus(
+        PoissonStimulus(pop, 400.0, 40.0, dt=1e-4, n_sources=2)
+    )
+    result = Simulator(net, FoldedFlexonBackend(1e-4), dt=1e-4).run(1000)
+    print(result.total_spikes())
+"""
+
+from repro.errors import (
+    CompilationError,
+    ConfigurationError,
+    FeatureConflictError,
+    FixedPointError,
+    MicrocodeError,
+    ReproError,
+    SimulationError,
+    UnknownModelError,
+)
+from repro.features import Feature, FeatureSet, features_for_model
+from repro.models import ModelParameters, NeuronModel, create_model
+from repro.network import (
+    Network,
+    PatternStimulus,
+    PoissonStimulus,
+    Population,
+    Projection,
+    ReferenceBackend,
+    SimulationResult,
+    Simulator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationError",
+    "ConfigurationError",
+    "Feature",
+    "FeatureConflictError",
+    "FeatureSet",
+    "FixedPointError",
+    "MicrocodeError",
+    "ModelParameters",
+    "Network",
+    "NeuronModel",
+    "PatternStimulus",
+    "PoissonStimulus",
+    "Population",
+    "Projection",
+    "ReferenceBackend",
+    "ReproError",
+    "SimulationError",
+    "SimulationResult",
+    "Simulator",
+    "UnknownModelError",
+    "create_model",
+    "features_for_model",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Spike-train analysis utilities.
+
+The neuroscience SNNs of Table I are characterised by their dynamical
+state — Brunel's asynchronous-irregular regime, Vogels-Abbott's
+self-sustained irregular activity, Destexhe's Up/Down alternation.
+This package provides the standard statistics used to make such
+statements quantitative: firing rates, inter-spike-interval (ISI)
+statistics including the coefficient of variation, population synchrony,
+and binned activity traces. The workload tests use them to verify the
+reproduced networks are in the intended regimes, not merely spiking.
+"""
+
+from repro.analysis.statistics import (
+    activity_trace,
+    cv_isi,
+    fano_factor,
+    firing_rates,
+    isi_distribution,
+    population_rate_hz,
+    synchrony_index,
+)
+
+__all__ = [
+    "activity_trace",
+    "cv_isi",
+    "fano_factor",
+    "firing_rates",
+    "isi_distribution",
+    "population_rate_hz",
+    "synchrony_index",
+]

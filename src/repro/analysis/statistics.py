@@ -1,0 +1,133 @@
+"""Spike-train statistics.
+
+All functions take a :class:`~repro.network.recorder.SpikeRecord` (or
+plain step/neuron arrays) plus the run geometry, and return plain
+floats/arrays. Conventions:
+
+* rates are in Hz of biological time (``steps x dt``);
+* the ISI coefficient of variation (CV) is the standard
+  irregularity measure — ~0 for clockwork firing, ~1 for Poisson-like
+  irregular firing;
+* the synchrony index is the variance-based population measure of
+  Golomb (2007): the variance of the population-averaged activity
+  normalised by the mean single-neuron variance; ~0 for asynchronous
+  states, ~1 for fully synchronised ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.recorder import SpikeRecord
+
+
+def _check_geometry(n_neurons: int, n_steps: int, dt: float) -> None:
+    if n_neurons <= 0:
+        raise ConfigurationError("n_neurons must be positive")
+    if n_steps <= 0:
+        raise ConfigurationError("n_steps must be positive")
+    if dt <= 0:
+        raise ConfigurationError("dt must be positive")
+
+
+def firing_rates(
+    record: SpikeRecord, n_neurons: int, n_steps: int, dt: float
+) -> np.ndarray:
+    """Per-neuron firing rate [Hz], length ``n_neurons``."""
+    _check_geometry(n_neurons, n_steps, dt)
+    counts = np.bincount(record.neurons, minlength=n_neurons)
+    return counts / (n_steps * dt)
+
+
+def population_rate_hz(
+    record: SpikeRecord, n_neurons: int, n_steps: int, dt: float
+) -> float:
+    """Mean firing rate across the population [Hz]."""
+    return float(firing_rates(record, n_neurons, n_steps, dt).mean())
+
+
+def isi_distribution(record: SpikeRecord, neuron: Optional[int] = None) -> np.ndarray:
+    """Inter-spike intervals in steps, pooled or for one neuron."""
+    if neuron is not None:
+        steps = np.sort(record.spikes_of(neuron))
+        return np.diff(steps)
+    intervals = []
+    for unit in np.unique(record.neurons):
+        steps = np.sort(record.spikes_of(int(unit)))
+        if steps.size >= 2:
+            intervals.append(np.diff(steps))
+    if not intervals:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(intervals)
+
+
+def cv_isi(record: SpikeRecord, neuron: Optional[int] = None) -> float:
+    """Coefficient of variation of the inter-spike intervals.
+
+    Returns ``nan`` when fewer than two intervals exist (the statistic
+    is undefined, and pretending otherwise hides silent neurons).
+    """
+    intervals = isi_distribution(record, neuron)
+    if intervals.size < 2:
+        return float("nan")
+    mean = intervals.mean()
+    if mean == 0:
+        return float("nan")
+    return float(intervals.std() / mean)
+
+
+def activity_trace(
+    record: SpikeRecord, n_steps: int, bin_steps: int = 10
+) -> np.ndarray:
+    """Population spike counts per time bin (length ceil(n/bin))."""
+    if bin_steps <= 0:
+        raise ConfigurationError("bin_steps must be positive")
+    n_bins = -(-n_steps // bin_steps)
+    bins = record.steps // bin_steps
+    return np.bincount(bins, minlength=n_bins).astype(np.float64)
+
+
+def fano_factor(
+    record: SpikeRecord, n_steps: int, bin_steps: int = 100
+) -> float:
+    """Variance/mean of binned population counts (1 for Poisson)."""
+    trace = activity_trace(record, n_steps, bin_steps)
+    mean = trace.mean()
+    if mean == 0:
+        return float("nan")
+    return float(trace.var() / mean)
+
+
+def synchrony_index(
+    record: SpikeRecord,
+    n_neurons: int,
+    n_steps: int,
+    bin_steps: int = 20,
+    max_neurons: int = 200,
+) -> float:
+    """Golomb's variance-based population synchrony measure.
+
+    chi^2 = Var(mean-field activity) / mean(Var(single activities)),
+    computed on binned spike counts; subsampled to ``max_neurons`` for
+    tractability on large populations. 0 = asynchronous, 1 = lockstep.
+    """
+    _check_geometry(n_neurons, n_steps, 1.0)
+    n_bins = -(-n_steps // bin_steps)
+    units = np.unique(record.neurons)
+    if units.size == 0:
+        return float("nan")
+    if units.size > max_neurons:
+        units = units[:: units.size // max_neurons][:max_neurons]
+    traces = np.zeros((units.size, n_bins))
+    for row, unit in enumerate(units):
+        steps = record.spikes_of(int(unit))
+        np.add.at(traces[row], steps // bin_steps, 1.0)
+    single_variances = traces.var(axis=1)
+    mean_single = single_variances.mean()
+    if mean_single == 0:
+        return float("nan")
+    population = traces.mean(axis=0)
+    return float(population.var() / mean_single)

@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro`` (or ``repro-flexon``).
+
+Subcommands:
+
+``workloads``
+    Print the Table I workload inventory.
+``models``
+    Print every supported neuron model, its feature combination, and
+    its folded-Flexon microprogram length.
+``microcode MODEL``
+    Print the Table V-style control-signal listing for one model.
+``run WORKLOAD``
+    Build and simulate one Table I workload; print firing statistics
+    and the phase breakdown.
+``experiment NAME``
+    Regenerate one paper artifact (``figure3``, ``figures4to8``,
+    ``table3``, ``table5``, ``figure12``, ``table6``, ``figure13``,
+    ``validation``) or ``all``.
+``simulate SPEC.json``
+    Build a network from a declarative front-end spec (Section VII-B)
+    and simulate it on the backend the spec names.
+``example-spec``
+    Print a ready-to-run front-end specification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+DT = 1e-4
+
+
+def _cmd_workloads(_args) -> int:
+    from repro.experiments.figure3 import table1_inventory
+
+    print(table1_inventory())
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    from repro.experiments.common import format_table
+    from repro.features import MODEL_FEATURES
+    from repro.hardware.compiler import FlexonCompiler
+    from repro.models.registry import create_model
+
+    compiler = FlexonCompiler()
+    rows = []
+    for name, features in MODEL_FEATURES.items():
+        compiled = compiler.compile(create_model(name), DT)
+        rows.append(
+            (
+                name,
+                "+".join(f.value for f in features),
+                compiled.program.n_signals,
+                compiled.program.cycles_per_neuron,
+            )
+        )
+    rows.append(("HH", "(unsupported: hybrid path)", "-", "-"))
+    print(
+        format_table(
+            ["Model", "Features", "Folded signals", "Cycles/neuron"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_microcode(args) -> int:
+    from repro.hardware.compiler import FlexonCompiler
+    from repro.models.registry import create_model
+
+    compiled = FlexonCompiler().compile(create_model(args.model), args.dt)
+    print(compiled.program.listing())
+    print(
+        f"\nMUL constants: "
+        f"{[hex(c & 0xFFFFFFFF) for c in compiled.program.mul_constants]}"
+    )
+    print(
+        f"ADD constants: "
+        f"{[hex(c & 0xFFFFFFFF) for c in compiled.program.add_constants]}"
+    )
+    print(f"weight pre-scale: {compiled.weight_scale:g}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.hardware.backend import FlexonBackend, FoldedFlexonBackend
+    from repro.network.backends import ReferenceBackend
+    from repro.network.simulator import Simulator
+    from repro.workloads import build_workload, get_spec
+
+    spec = get_spec(args.workload)
+    backends = {
+        "reference": lambda: ReferenceBackend(args.solver or spec.solver),
+        "flexon": lambda: FlexonBackend(args.dt),
+        "folded": lambda: FoldedFlexonBackend(args.dt),
+    }
+    backend = backends[args.backend]()
+    network = build_workload(args.workload, scale=args.scale, seed=args.seed)
+    print(f"{spec}")
+    print(
+        f"built at scale {args.scale}: {network.n_neurons:,} neurons, "
+        f"{network.n_synapses:,} synapses; backend: {backend.name}"
+    )
+    simulator = Simulator(network, backend, dt=args.dt, seed=args.seed + 1)
+    result = simulator.run(args.steps)
+    duration = args.steps * args.dt
+    rate = result.total_spikes() / max(1, network.n_neurons) / duration
+    print(
+        f"\n{result.total_spikes():,} spikes in {duration * 1e3:.0f} ms "
+        f"of biological time ({rate:.1f} Hz mean rate)"
+    )
+    print("per-phase wall-clock share:")
+    for phase, fraction in result.phase_fractions().items():
+        print(f"  {phase:10s} {100 * fraction:5.1f}%")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import (
+        figure3,
+        figure12,
+        figure13,
+        figures4to8,
+        table3,
+        table5,
+        table6,
+        validation,
+    )
+
+    def run_figure3():
+        rows = figure3.run(scale=args.scale, steps=args.steps)
+        return figure3.table1_inventory() + "\n\n" + figure3.format_figure3(rows)
+
+    def run_table3():
+        return (
+            table3.format_matrix()
+            + "\n\n"
+            + table3.format_verification(table3.run(steps=args.steps))
+        )
+
+    def run_table5():
+        return table5.format_table5(table5.run())
+
+    def run_figures4to8():
+        return figures4to8.format_figures(figures4to8.run())
+
+    def run_figure12():
+        return figure12.format_figure12(figure12.run())
+
+    def run_table6():
+        return table6.format_table6(table6.run())
+
+    def run_figure13():
+        rows = figure13.run(scale=args.scale, steps=args.steps)
+        return figure13.format_figure13(rows)
+
+    def run_validation():
+        rows = validation.run(scale=args.scale, steps=args.steps)
+        return validation.format_validation(rows)
+
+    experiments = {
+        "figure3": run_figure3,
+        "figures4to8": run_figures4to8,
+        "table3": run_table3,
+        "table5": run_table5,
+        "figure12": run_figure12,
+        "table6": run_table6,
+        "figure13": run_figure13,
+        "validation": run_validation,
+    }
+    names = list(experiments) if args.name == "all" else [args.name]
+    for name in names:
+        print(f"== {name} " + "=" * max(1, 60 - len(name)))
+        print(experiments[name]())
+        print()
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.frontend import build_simulation, load_spec
+
+    spec = load_spec(args.spec)
+    simulator, network = build_simulation(spec)
+    print(
+        f"{network.name}: {network.n_neurons:,} neurons, "
+        f"{network.n_synapses:,} synapses on "
+        f"{simulator.backend.name}"
+    )
+    result = simulator.run(args.steps)
+    duration = args.steps * simulator.dt
+    for name, population in network.populations.items():
+        record = result.spikes.result(name)
+        rate = record.n_spikes / population.n / duration
+        print(f"  {name:12s} {record.n_spikes:8,d} spikes ({rate:7.1f} Hz)")
+    if network.plasticity_rules:
+        for rule in network.plasticity_rules:
+            print(
+                f"  plastic {rule.projection.name}: mean weight "
+                f"{rule.mean_weight():.4f}"
+            )
+    return 0
+
+
+def _cmd_example_spec(_args) -> int:
+    import json
+
+    from repro.frontend import example_spec
+
+    print(json.dumps(example_spec(), indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flexon (ISCA 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the Table I workloads")
+    sub.add_parser("models", help="list supported neuron models")
+
+    microcode = sub.add_parser(
+        "microcode", help="print a model's folded-Flexon microprogram"
+    )
+    microcode.add_argument("model")
+    microcode.add_argument("--dt", type=float, default=DT)
+
+    run = sub.add_parser("run", help="simulate one Table I workload")
+    run.add_argument("workload")
+    run.add_argument(
+        "--backend",
+        choices=("reference", "flexon", "folded"),
+        default="folded",
+    )
+    run.add_argument("--solver", default=None, help="reference solver override")
+    run.add_argument("--scale", type=float, default=0.05)
+    run.add_argument("--steps", type=int, default=1000)
+    run.add_argument("--dt", type=float, default=DT)
+    run.add_argument("--seed", type=int, default=1)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "name",
+        choices=(
+            "figure3", "figures4to8", "table3", "table5", "figure12",
+            "table6", "figure13", "validation", "all",
+        ),
+    )
+    experiment.add_argument("--scale", type=float, default=0.03)
+    experiment.add_argument("--steps", type=int, default=400)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a declarative front-end spec (JSON)"
+    )
+    simulate.add_argument("spec", help="path to a JSON network spec")
+    simulate.add_argument("--steps", type=int, default=1000)
+
+    sub.add_parser("example-spec", help="print a ready-to-run JSON spec")
+    return parser
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "models": _cmd_models,
+    "microcode": _cmd_microcode,
+    "run": _cmd_run,
+    "experiment": _cmd_experiment,
+    "simulate": _cmd_simulate,
+    "example-spec": _cmd_example_spec,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

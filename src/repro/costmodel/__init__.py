@@ -1,0 +1,70 @@
+"""Analytical 45 nm cost models (the synthesis substitute).
+
+The paper's hardware numbers come from Synopsys Design Compiler with a
+TSMC 45 nm standard-cell library, plus CACTI 6.5 for SRAM. Offline and
+in Python, we substitute calibrated analytical models:
+
+* :mod:`repro.costmodel.units` — per-arithmetic-unit area and switching
+  energy at 45 nm, calibrated so the composed designs land on the
+  paper's aggregate numbers (Figure 12, Table VI);
+* :mod:`repro.costmodel.netlist` — unit inventories for each per-feature
+  data path, the full baseline Flexon, and folded Flexon;
+* :mod:`repro.costmodel.synthesis` — inventory -> area/power
+  composition (the "synthesis" step);
+* :mod:`repro.costmodel.sram` — a CACTI-style SRAM area/power model;
+* :mod:`repro.costmodel.cpu_gpu` — latency/energy models for the
+  baseline Xeon E5-2630 v4 (NEST) and Titan X Pascal (GeNN);
+* :mod:`repro.costmodel.energy` — energy-efficiency arithmetic for
+  Figure 13b.
+"""
+
+from repro.costmodel.units import UNIT_AREA_UM2, UNIT_ENERGY_PJ
+from repro.costmodel.netlist import (
+    datapath_inventories,
+    flexon_inventory,
+    folded_inventory,
+)
+from repro.costmodel.synthesis import (
+    DesignCost,
+    synthesize,
+    synthesize_datapaths,
+    synthesize_flexon_neuron,
+    synthesize_folded_neuron,
+    flexon_array_cost,
+    folded_array_cost,
+    ArrayCost,
+)
+from repro.costmodel.sram import SramConfig, sram_cost
+from repro.costmodel.cpu_gpu import (
+    CPU_SPEC,
+    GPU_SPEC,
+    PhaseLatency,
+    ProcessorSpec,
+    phase_latencies,
+)
+from repro.costmodel.energy import energy_joules, improvement
+
+__all__ = [
+    "ArrayCost",
+    "CPU_SPEC",
+    "DesignCost",
+    "GPU_SPEC",
+    "PhaseLatency",
+    "ProcessorSpec",
+    "SramConfig",
+    "UNIT_AREA_UM2",
+    "UNIT_ENERGY_PJ",
+    "datapath_inventories",
+    "energy_joules",
+    "flexon_array_cost",
+    "flexon_inventory",
+    "folded_array_cost",
+    "folded_inventory",
+    "improvement",
+    "phase_latencies",
+    "sram_cost",
+    "synthesize",
+    "synthesize_datapaths",
+    "synthesize_flexon_neuron",
+    "synthesize_folded_neuron",
+]

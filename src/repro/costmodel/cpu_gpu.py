@@ -1,0 +1,153 @@
+"""Latency and energy models of the baseline general-purpose hosts.
+
+The paper profiles the Table I SNNs on an Intel Xeon E5-2630 v4
+(12 cores, 2.2 GHz, NEST / GeNN CPU mode) and an NVIDIA Titan X Pascal
+(GeNN). Without that hardware, we model each host as a throughput
+abstraction calibrated to published simulator performance:
+
+* **CPU (NEST)** — neuron updates cost ``ops x ns_per_op`` per core;
+  the effective per-op cost bakes in NEST's interpretive overheads
+  (virtual dispatch, ring-buffer handling), which dominate raw FLOP
+  throughput. Work parallelises across the 12 cores with imperfect
+  scaling; every phase also pays a per-step software overhead.
+* **GPU (GeNN)** — enormous arithmetic throughput but a fixed kernel
+  launch/synchronisation overhead per phase per step, which dominates
+  for the small-to-mid SNNs of Table I. This is why GPU wins over CPU
+  by ~10x on neuron computation, not by its raw FLOP ratio, and why
+  Flexon still beats it (Figure 13).
+
+Operation counts come from the reference models
+(:meth:`~repro.models.base.NeuronModel.ops_per_update`) and solver
+evaluation counts; exponentials are weighted as several simple ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+#: Cost weight of one exponential relative to a simple arithmetic op.
+EXP_OP_WEIGHT = 12.0
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """A general-purpose host as a calibrated throughput model."""
+
+    name: str
+    n_cores: int
+    clock_hz: float
+    #: Effective nanoseconds per arithmetic op on one core, including
+    #: framework overheads.
+    ns_per_op: float
+    #: Parallel efficiency across cores (Amdahl-ish derating).
+    parallel_efficiency: float
+    #: Fixed software/kernel overhead per phase per time step [s].
+    per_phase_overhead_s: float
+    #: Nanoseconds per synaptic event (weight fetch + accumulate).
+    ns_per_synaptic_event: float
+    #: Nanoseconds per stimulus event (RNG + injection).
+    ns_per_stimulus_event: float
+    #: Board/package power while simulating [W].
+    power_w: float
+
+    def effective_cores(self) -> float:
+        return max(1.0, self.n_cores * self.parallel_efficiency)
+
+
+#: Intel Xeon E5-2630 v4 running NEST (PyNN front-end).
+CPU_SPEC = ProcessorSpec(
+    name="Xeon E5-2630 v4 (NEST)",
+    n_cores=12,
+    clock_hz=2.2e9,
+    ns_per_op=6.0,
+    parallel_efficiency=0.75,
+    per_phase_overhead_s=4e-6,
+    ns_per_synaptic_event=220.0,
+    ns_per_stimulus_event=200.0,
+    power_w=85.0,
+)
+
+#: NVIDIA Titan X (Pascal) running GeNN.
+GPU_SPEC = ProcessorSpec(
+    name="Titan X Pascal (GeNN)",
+    n_cores=3584,
+    clock_hz=1.4e9,
+    ns_per_op=0.9,
+    parallel_efficiency=0.02,  # per-neuron code is divergent/latency-bound
+    per_phase_overhead_s=6e-6,
+    ns_per_synaptic_event=1.5,
+    ns_per_stimulus_event=3.0,
+    power_w=250.0,
+)
+
+
+@dataclass(frozen=True)
+class PhaseLatency:
+    """Modeled per-time-step latency of the three phases [s]."""
+
+    stimulus_s: float
+    neuron_s: float
+    synapse_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.stimulus_s + self.neuron_s + self.synapse_s
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_s
+        if total <= 0:
+            return {"stimulus": 0.0, "neuron": 0.0, "synapse": 0.0}
+        return {
+            "stimulus": self.stimulus_s / total,
+            "neuron": self.neuron_s / total,
+            "synapse": self.synapse_s / total,
+        }
+
+
+def weighted_ops(ops: Dict[str, int]) -> float:
+    """Collapse an op-count dict into equivalent simple ops."""
+    simple = ops.get("mul", 0) + ops.get("add", 0) + ops.get("cmp", 0)
+    return simple + EXP_OP_WEIGHT * ops.get("exp", 0)
+
+
+def neuron_phase_latency(
+    spec: ProcessorSpec,
+    n_neurons: int,
+    ops_per_update: Dict[str, int],
+    evaluations_per_step: float = 1.0,
+) -> float:
+    """Modeled neuron-computation latency of one time step [s]."""
+    if n_neurons < 0:
+        raise ConfigurationError("n_neurons must be non-negative")
+    total_ops = n_neurons * weighted_ops(ops_per_update) * evaluations_per_step
+    compute = total_ops * spec.ns_per_op * 1e-9 / spec.effective_cores()
+    return compute + spec.per_phase_overhead_s
+
+
+def phase_latencies(
+    spec: ProcessorSpec,
+    n_neurons: int,
+    ops_per_update: Dict[str, int],
+    evaluations_per_step: float,
+    synaptic_events_per_step: float,
+    stimulus_events_per_step: float,
+) -> PhaseLatency:
+    """Modeled per-step latency of all three phases on one host."""
+    cores = spec.effective_cores()
+    neuron = neuron_phase_latency(
+        spec, n_neurons, ops_per_update, evaluations_per_step
+    )
+    synapse = (
+        synaptic_events_per_step * spec.ns_per_synaptic_event * 1e-9 / cores
+        + spec.per_phase_overhead_s
+    )
+    stimulus = (
+        stimulus_events_per_step * spec.ns_per_stimulus_event * 1e-9 / cores
+        + spec.per_phase_overhead_s
+    )
+    return PhaseLatency(
+        stimulus_s=stimulus, neuron_s=neuron, synapse_s=synapse
+    )

@@ -1,0 +1,42 @@
+"""Energy-efficiency arithmetic for Figure 13b.
+
+The paper compares *energy efficiency of neuron simulation*: the
+energy each platform spends on the neuron-computation phase of one
+time step. Efficiency improvement of platform B over platform A is
+``E_A / E_B`` (higher is better for B).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+
+def energy_joules(power_w: float, seconds: float) -> float:
+    """Energy spent holding ``power_w`` for ``seconds``."""
+    if power_w < 0 or seconds < 0:
+        raise ConfigurationError("power and time must be non-negative")
+    return power_w * seconds
+
+
+def improvement(baseline: float, contender: float) -> float:
+    """How many times smaller ``contender`` is than ``baseline``.
+
+    Used for both latency speedups and energy-efficiency improvements
+    (both are "baseline cost / our cost").
+    """
+    if contender <= 0:
+        raise ConfigurationError("contender cost must be positive")
+    return baseline / contender
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's aggregate for Figure 13."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,177 @@
+"""Composition of inventories into area/power ("synthesis").
+
+The model: area is the sum of unit areas; dynamic power is the sum of
+per-op switching energies times clock frequency times an activity
+factor (baseline Flexon latches unused paths off, folded Flexon's
+shared units switch every cycle); static power is a 45 nm leakage
+density times area. SRAM is handled by :mod:`repro.costmodel.sram` and
+added at the array level, mirroring how the paper reports Table VI
+(neuron logic and SRAM as separate rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.costmodel.netlist import (
+    datapath_inventories,
+    flexon_inventory,
+    folded_inventory,
+)
+from repro.costmodel.sram import SramConfig, sram_cost
+from repro.costmodel.units import (
+    FLEXON_ACTIVITY,
+    FOLDED_ACTIVITY,
+    LEAKAGE_UW_PER_UM2,
+    UNIT_AREA_UM2,
+    UNIT_ENERGY_PJ,
+)
+from repro.hardware.array import FLEXON_CLOCK_HZ, FOLDED_CLOCK_HZ
+from repro.hardware.datapaths import Inventory
+
+
+@dataclass(frozen=True)
+class DesignCost:
+    """Synthesized cost of one logic block."""
+
+    name: str
+    area_um2: float
+    power_w: float
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 * 1e-6
+
+
+@dataclass(frozen=True)
+class ArrayCost:
+    """Table VI row: neuron logic + SRAM of a digital-neuron array."""
+
+    name: str
+    n_neurons: int
+    neuron_area_mm2: float
+    neuron_power_w: float
+    sram_area_mm2: float
+    sram_power_w: float
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.neuron_area_mm2 + self.sram_area_mm2
+
+    @property
+    def total_power_w(self) -> float:
+        return self.neuron_power_w + self.sram_power_w
+
+
+def synthesize(
+    name: str,
+    inventory: Inventory,
+    clock_hz: float,
+    activity: float = 1.0,
+) -> DesignCost:
+    """Area/power of an inventory at a clock and activity factor."""
+    area = 0.0
+    energy_pj_per_cycle = 0.0
+    for unit, count in inventory.items():
+        area += UNIT_AREA_UM2[unit] * count
+        energy_pj_per_cycle += UNIT_ENERGY_PJ[unit] * count
+    dynamic_w = energy_pj_per_cycle * 1e-12 * clock_hz * activity
+    static_w = area * LEAKAGE_UW_PER_UM2 * 1e-6
+    return DesignCost(name=name, area_um2=area, power_w=dynamic_w + static_w)
+
+
+def synthesize_datapaths(clock_hz: float = FLEXON_CLOCK_HZ) -> Dict[str, DesignCost]:
+    """Per-feature data-path costs (Figure 12's left group)."""
+    return {
+        name: synthesize(name, inventory, clock_hz, activity=1.0)
+        for name, inventory in datapath_inventories().items()
+    }
+
+
+def synthesize_flexon_neuron(
+    n_synapse_types: int = 2, clock_hz: float = FLEXON_CLOCK_HZ
+) -> DesignCost:
+    """One baseline Flexon neuron (Figure 12's 'Flexon' bar)."""
+    return synthesize(
+        "Flexon",
+        flexon_inventory(n_synapse_types),
+        clock_hz,
+        activity=FLEXON_ACTIVITY,
+    )
+
+
+def synthesize_folded_neuron(clock_hz: float = FOLDED_CLOCK_HZ) -> DesignCost:
+    """One folded Flexon neuron (Figure 12's 'Folded' bar)."""
+    return synthesize(
+        "Spatially Folded Flexon",
+        folded_inventory(),
+        clock_hz,
+        activity=FOLDED_ACTIVITY,
+    )
+
+
+#: Per-logical-neuron SRAM footprint: 10 state words of 32 bits (v is
+#: truncated to 22, Section IV-B1's saving) and, for the baseline
+#: array, 16 constant words read alongside the state each cycle.
+_STATE_BITS = 9 * 32 + 22
+_CONST_BITS = 16 * 32
+
+#: Default SRAM provisioning of the synthesized arrays. The baseline
+#: array time-multiplexes up to 10K logical neurons (the largest
+#: Table I workload) keeping per-neuron constants in SRAM for the wide
+#: single-cycle read; the folded array holds constants once per
+#: physical neuron in register buffers, streams only state, and is
+#: provisioned for 20K logical neurons (its 72 physical neurons give it
+#: the throughput headroom), split across more banks for bandwidth.
+FLEXON_SRAM = SramConfig(
+    name="flexon-array-sram",
+    capacity_bits=10_000 * (_STATE_BITS + _CONST_BITS),
+    banks=12,
+    # Each cycle: 12 neurons read state + constants and write state.
+    bandwidth_bits_per_second=(
+        12 * (2 * _STATE_BITS + _CONST_BITS) * FLEXON_CLOCK_HZ
+    ),
+)
+FOLDED_SRAM = SramConfig(
+    name="folded-array-sram",
+    capacity_bits=20_000 * _STATE_BITS + 72 * 32 * 32,
+    banks=28,
+    # 72 pipelines each touch a state word, a constant word, and a
+    # microcode word per cycle (reads/writes every microcode cycle).
+    bandwidth_bits_per_second=72 * (2 * 32 + 32 + 32) * FOLDED_CLOCK_HZ,
+)
+
+
+def flexon_array_cost(
+    n_neurons: int = 12, sram: Optional[SramConfig] = None
+) -> ArrayCost:
+    """Table VI, first group: the 12-neuron baseline Flexon array."""
+    neuron = synthesize_flexon_neuron()
+    sram_config = sram if sram is not None else FLEXON_SRAM
+    sram_area, sram_power = sram_cost(sram_config)
+    return ArrayCost(
+        name=f"Flexon ({n_neurons} neurons)",
+        n_neurons=n_neurons,
+        neuron_area_mm2=neuron.area_mm2 * n_neurons,
+        neuron_power_w=neuron.power_w * n_neurons,
+        sram_area_mm2=sram_area,
+        sram_power_w=sram_power,
+    )
+
+
+def folded_array_cost(
+    n_neurons: int = 72, sram: Optional[SramConfig] = None
+) -> ArrayCost:
+    """Table VI, second group: the 72-neuron folded Flexon array."""
+    neuron = synthesize_folded_neuron()
+    sram_config = sram if sram is not None else FOLDED_SRAM
+    sram_area, sram_power = sram_cost(sram_config)
+    return ArrayCost(
+        name=f"Spatially Folded Flexon ({n_neurons} neurons)",
+        n_neurons=n_neurons,
+        neuron_area_mm2=neuron.area_mm2 * n_neurons,
+        neuron_power_w=neuron.power_w * n_neurons,
+        sram_area_mm2=sram_area,
+        sram_power_w=sram_power,
+    )

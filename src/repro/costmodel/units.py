@@ -1,0 +1,59 @@
+"""Per-unit 45 nm area and energy constants.
+
+These are the "standard cells" of the analytical synthesis model:
+area in um^2 and switching energy in pJ per operation for 32-bit
+fixed-point units at the paper's clock targets. The absolute values
+are in the range published for 45 nm arithmetic (e.g. Horowitz's
+energy-per-op surveys: a 32-bit integer multiply is a few pJ, an add a
+few tenths of a pJ) and are *calibrated* so that the composed baseline
+Flexon and folded Flexon neurons land on the paper's Figure 12 /
+Table VI aggregates. Tests pin the calibration: the Flexon:folded area
+ratio must stay in the paper's 5-6x band and the absolute neuron areas
+within tens of percent of Table VI.
+
+Unit kinds:
+
+``mul``    32-bit fixed-point multiplier
+``add``    32-bit adder/subtractor
+``exp``    Schraudolph exponential unit (shift/add network + small mul)
+``cmp``    32-bit comparator
+``mux``    32-bit 2:1 multiplexer
+``reg``    32-bit pipeline latch/register
+``ctrl``   control/decode logic block (folded Flexon's sequencer)
+``cnt``    refractory down-counter (8-bit, saturating)
+"""
+
+#: Area per unit instance [um^2].
+UNIT_AREA_UM2 = {
+    "mul": 4400.0,
+    "add": 350.0,
+    "exp": 7800.0,
+    "cmp": 150.0,
+    "mux": 120.0,
+    "reg": 230.0,
+    "ctrl": 1400.0,
+    "cnt": 180.0,
+}
+
+#: Switching energy per operation [pJ].
+UNIT_ENERGY_PJ = {
+    "mul": 3.1,
+    "add": 0.30,
+    "exp": 2.6,
+    "cmp": 0.10,
+    "mux": 0.05,
+    "reg": 0.15,
+    "ctrl": 0.80,
+    "cnt": 0.08,
+}
+
+#: Static (leakage) power density for 45 nm logic [uW per um^2].
+LEAKAGE_UW_PER_UM2 = 0.018
+
+#: Average activity factor of the baseline Flexon's data paths: unused
+#: paths are latched off (Figure 10), so only the configured model's
+#: units switch each cycle.
+FLEXON_ACTIVITY = 0.65
+
+#: The folded design's shared units are busy every cycle.
+FOLDED_ACTIVITY = 1.0

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base type. Subclasses
+separate configuration mistakes (bad feature combinations, bad
+parameters) from runtime failures (simulation errors, numeric
+overflow in strict mode).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user-supplied configuration is invalid."""
+
+
+class FeatureConflictError(ConfigurationError):
+    """Raised when mutually exclusive biological features are combined.
+
+    Examples: enabling both exponential (EXD) and linear (LID) membrane
+    decay, both quadratic (QDI) and exponential (EXI) spike initiation,
+    or reversal voltage (REV) together with current-based input (CUB).
+    """
+
+
+class UnknownModelError(ConfigurationError):
+    """Raised when a neuron model or workload name is not registered."""
+
+
+class FixedPointError(ReproError):
+    """Base class for fixed-point arithmetic errors."""
+
+
+class FixedPointFormatError(FixedPointError, ValueError):
+    """Raised when a fixed-point format specification is invalid."""
+
+
+class FixedPointOverflowError(FixedPointError, OverflowError):
+    """Raised in strict mode when a value exceeds the representable range.
+
+    The default hardware behaviour is saturation (as in the RTL); the
+    strict mode exists so tests can assert that chosen formats never
+    saturate on realistic workloads.
+    """
+
+
+class CompilationError(ReproError):
+    """Raised when a neuron model cannot be compiled for Flexon."""
+
+
+class MicrocodeError(ReproError):
+    """Raised when a folded-Flexon microprogram is malformed."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot proceed (e.g. inconsistent sizes)."""

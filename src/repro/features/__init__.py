@@ -1,0 +1,39 @@
+"""The 12 biologically common features (paper Section IV-A, Table II).
+
+Flexon's key idea is that diverse LIF-derived neuron models share a
+small set of *biologically common features*; different combinations of
+features express different neuron models (Table III). This package
+defines the feature taxonomy, the validation rules for combining
+features, and the catalog mapping published neuron models to their
+feature combinations.
+"""
+
+from repro.features.base import (
+    CATEGORY_OF,
+    FEATURE_DESCRIPTIONS,
+    Feature,
+    FeatureCategory,
+)
+from repro.features.feature_set import FeatureSet
+from repro.features.catalog import (
+    MODEL_FEATURES,
+    combination_matrix,
+    feature_table,
+    features_for_model,
+    model_names,
+    models_using,
+)
+
+__all__ = [
+    "CATEGORY_OF",
+    "FEATURE_DESCRIPTIONS",
+    "Feature",
+    "FeatureCategory",
+    "FeatureSet",
+    "MODEL_FEATURES",
+    "combination_matrix",
+    "feature_table",
+    "features_for_model",
+    "model_names",
+    "models_using",
+]

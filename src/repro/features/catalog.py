@@ -1,0 +1,124 @@
+"""Model-to-feature catalog (paper Tables II and III).
+
+``MODEL_FEATURES`` reproduces Table III exactly: the feature combination
+that simulates each of the 11 published neuron models. The helper
+functions render the tables and answer reverse queries (which models
+use feature X), which the Table III experiment and tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import UnknownModelError
+from repro.features.base import CATEGORY_OF, FEATURE_DESCRIPTIONS, Feature
+from repro.features.feature_set import FeatureSet
+
+#: Table III, row by row. Keys are the canonical model names used across
+#: the package (``repro.models.registry`` resolves aliases).
+MODEL_FEATURES: Dict[str, FeatureSet] = {
+    # Linear Leak Integrate-and-Fire (TrueNorth-style)
+    "LLIF": FeatureSet([Feature.LID, Feature.CUB, Feature.AR]),
+    # LIF with step inputs (Smith 2014)
+    "SLIF": FeatureSet([Feature.EXD, Feature.CUB, Feature.AR]),
+    # Zeroth-order spike response model, decaying synapses
+    "DSRM0": FeatureSet([Feature.EXD, Feature.COBE, Feature.AR]),
+    # LIF with decaying synaptic conductances
+    "DLIF": FeatureSet([Feature.EXD, Feature.COBE, Feature.REV, Feature.AR]),
+    # Quadratic integrate-and-fire (Neurogrid's model)
+    "QIF": FeatureSet(
+        [Feature.EXD, Feature.COBE, Feature.REV, Feature.QDI, Feature.AR]
+    ),
+    # Exponential integrate-and-fire
+    "EIF": FeatureSet(
+        [Feature.EXD, Feature.COBE, Feature.REV, Feature.EXI, Feature.AR]
+    ),
+    # Izhikevich's simple model, expressed in features
+    "Izhikevich": FeatureSet(
+        [
+            Feature.EXD,
+            Feature.COBE,
+            Feature.REV,
+            Feature.QDI,
+            Feature.ADT,
+            Feature.AR,
+        ]
+    ),
+    # Adaptive exponential integrate-and-fire
+    "AdEx": FeatureSet(
+        [
+            Feature.EXD,
+            Feature.COBE,
+            Feature.REV,
+            Feature.EXI,
+            Feature.ADT,
+            Feature.SBT,
+            Feature.AR,
+        ]
+    ),
+    # AdEx with alpha-function conductances
+    "AdEx_COBA": FeatureSet(
+        [
+            Feature.EXD,
+            Feature.COBA,
+            Feature.REV,
+            Feature.EXI,
+            Feature.ADT,
+            Feature.SBT,
+            Feature.AR,
+        ]
+    ),
+    # PyNN's IF_psc_alpha: current-like alpha synapses (no reversal)
+    "IF_psc_alpha": FeatureSet([Feature.EXD, Feature.COBA, Feature.AR]),
+    # PyNN's IF_cond_exp_gsfa_grr: conductance synapses + spike-frequency
+    # adaptation + relative refractory
+    "IF_cond_exp_gsfa_grr": FeatureSet(
+        [Feature.EXD, Feature.COBE, Feature.REV, Feature.AR, Feature.RR]
+    ),
+}
+
+#: The baseline model of the paper; LIF itself is CUB + EXD (no AR row
+#: in Table III because LIF "does not emulate ... refractory").
+MODEL_FEATURES["LIF"] = FeatureSet([Feature.EXD, Feature.CUB])
+
+
+def model_names() -> List[str]:
+    """Canonical names of all cataloged models, Table III order first."""
+    return list(MODEL_FEATURES)
+
+
+def features_for_model(name: str) -> FeatureSet:
+    """The Table III feature combination for ``name``.
+
+    Raises :class:`~repro.errors.UnknownModelError` for unknown models.
+    """
+    try:
+        return MODEL_FEATURES[name]
+    except KeyError:
+        known = ", ".join(MODEL_FEATURES)
+        raise UnknownModelError(
+            f"no feature combination for model {name!r}; known: {known}"
+        ) from None
+
+
+def models_using(feature: Feature) -> List[str]:
+    """Names of cataloged models whose combination includes ``feature``."""
+    return [name for name, fs in MODEL_FEATURES.items() if feature in fs]
+
+
+def feature_table() -> List[Tuple[str, str, str]]:
+    """Rows of Table II: (category, long name, abbreviation)."""
+    return [
+        (CATEGORY_OF[f].value, FEATURE_DESCRIPTIONS[f], f.value)
+        for f in Feature
+    ]
+
+
+def combination_matrix() -> List[Tuple[str, Dict[str, bool]]]:
+    """Table III as a model -> {feature abbr -> enabled} matrix."""
+    rows = []
+    for name, fs in MODEL_FEATURES.items():
+        if name == "LIF":
+            continue  # LIF is the baseline, not a Table III row
+        rows.append((name, {f.value: (f in fs) for f in Feature}))
+    return rows

@@ -1,0 +1,250 @@
+"""Network-description schema and builders.
+
+A specification is a plain dict (JSON-compatible)::
+
+    {
+      "name": "my-net",
+      "dt": 1e-4,
+      "seed": 0,
+      "backend": "folded",            # reference|flexon|folded|hybrid
+      "solver": "Euler",              # reference/hybrid backends only
+      "populations": [
+        {"name": "exc", "n": 100, "model": "DLIF",
+         "parameters": {"tau": 0.02}}          # optional overrides
+      ],
+      "projections": [
+        {"pre": "exc", "post": "exc", "probability": 0.1,
+         "weight": 0.05, "syn_type": 0, "delay_steps": 1,
+         "delay_jitter": 0,
+         "plasticity": {"rule": "pair_stdp", "a_plus": 0.01}}  # optional
+      ],
+      "stimuli": [
+        {"kind": "poisson", "target": "exc", "rate_hz": 400,
+         "weight": 0.05, "n_sources": 10, "syn_type": 0},
+        {"kind": "pattern", "target": "exc", "weight": 1.0,
+         "events": {"0": [0, 1]}, "period": 100}
+      ]
+    }
+
+Unknown keys are rejected (typos should fail loudly), and every error
+names the offending entry.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.models.base import ModelParameters
+from repro.models.registry import create_model
+from repro.network.backends import Backend, ReferenceBackend
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.network.stimulus import PatternStimulus, PoissonStimulus
+
+_POPULATION_KEYS = {"name", "n", "model", "parameters"}
+_PROJECTION_KEYS = {
+    "pre", "post", "probability", "weight", "weight_std", "syn_type",
+    "delay_steps", "delay_jitter", "allow_self", "plasticity",
+}
+_POISSON_KEYS = {"kind", "target", "rate_hz", "weight", "n_sources", "syn_type"}
+_PATTERN_KEYS = {"kind", "target", "weight", "events", "period", "syn_type"}
+_TOP_KEYS = {
+    "name", "dt", "seed", "backend", "solver",
+    "populations", "projections", "stimuli",
+}
+_BACKENDS = ("reference", "flexon", "folded", "hybrid")
+
+
+def _check_keys(entry: Dict, allowed: set, where: str) -> None:
+    unknown = set(entry) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {sorted(unknown)} in {where}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def load_spec(path: Union[str, pathlib.Path]) -> Dict:
+    """Load a JSON specification from disk."""
+    text = pathlib.Path(path).read_text()
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid JSON in {path}: {error}") from None
+    if not isinstance(spec, dict):
+        raise ConfigurationError(f"{path} must contain a JSON object")
+    return spec
+
+
+def build_network(spec: Dict) -> Network:
+    """Materialise the network described by ``spec``."""
+    import numpy as np
+
+    _check_keys(spec, _TOP_KEYS, "the top-level spec")
+    if not spec.get("populations"):
+        raise ConfigurationError("spec needs at least one population")
+    network = Network(spec.get("name", "network"))
+    rng = np.random.default_rng(int(spec.get("seed", 0)))
+    dt = float(spec.get("dt", 1e-4))
+
+    for entry in spec["populations"]:
+        _check_keys(entry, _POPULATION_KEYS, f"population {entry.get('name')!r}")
+        for key in ("name", "n", "model"):
+            if key not in entry:
+                raise ConfigurationError(
+                    f"population entry missing {key!r}: {entry}"
+                )
+        parameters = None
+        if entry.get("parameters"):
+            overrides = dict(entry["parameters"])
+            for tuple_key in ("tau_g", "v_g"):
+                if tuple_key in overrides:
+                    overrides[tuple_key] = tuple(overrides[tuple_key])
+            parameters = ModelParameters(**overrides)
+        network.add_population(
+            entry["name"],
+            int(entry["n"]),
+            create_model(entry["model"], parameters=parameters),
+        )
+
+    for entry in spec.get("projections", []):
+        where = f"projection {entry.get('pre')}->{entry.get('post')}"
+        _check_keys(entry, _PROJECTION_KEYS, where)
+        for key in ("pre", "post"):
+            if key not in entry:
+                raise ConfigurationError(f"{where} missing {key!r}")
+        plasticity = entry.get("plasticity")
+        kwargs = {
+            key: entry[key]
+            for key in (
+                "probability", "weight", "weight_std", "syn_type",
+                "delay_steps", "delay_jitter", "allow_self",
+            )
+            if key in entry
+        }
+        projection = network.connect(
+            entry["pre"], entry["post"], rng=rng, **kwargs
+        )
+        if plasticity is not None:
+            network.add_plasticity(
+                projection, _build_plasticity(plasticity, where)
+            )
+
+    for entry in spec.get("stimuli", []):
+        kind = entry.get("kind")
+        target_name = entry.get("target")
+        where = f"stimulus ({kind}) on {target_name!r}"
+        if target_name not in network.populations:
+            raise ConfigurationError(f"{where}: unknown target population")
+        target = network.populations[target_name]
+        if kind == "poisson":
+            _check_keys(entry, _POISSON_KEYS, where)
+            network.add_stimulus(
+                PoissonStimulus(
+                    target,
+                    rate_hz=float(entry["rate_hz"]),
+                    weight=float(entry["weight"]),
+                    dt=dt,
+                    syn_type=int(entry.get("syn_type", 0)),
+                    n_sources=int(entry.get("n_sources", 1)),
+                )
+            )
+        elif kind == "pattern":
+            _check_keys(entry, _PATTERN_KEYS, where)
+            events = {
+                int(step): list(indices)
+                for step, indices in entry["events"].items()
+            }
+            network.add_stimulus(
+                PatternStimulus(
+                    target,
+                    events,
+                    weight=float(entry["weight"]),
+                    syn_type=int(entry.get("syn_type", 0)),
+                    period=entry.get("period"),
+                )
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown stimulus kind {kind!r}; use 'poisson' or 'pattern'"
+            )
+    return network
+
+
+def _build_plasticity(entry: Dict, where: str):
+    from repro.plasticity import PairSTDP
+
+    entry = dict(entry)
+    rule_name = entry.pop("rule", None)
+    if rule_name != "pair_stdp":
+        raise ConfigurationError(
+            f"{where}: unknown plasticity rule {rule_name!r} "
+            "(supported: 'pair_stdp')"
+        )
+    return PairSTDP(**entry)
+
+
+def build_backend(spec: Dict) -> Backend:
+    """Instantiate the backend named by ``spec``."""
+    from repro.hardware.backend import (
+        FlexonBackend,
+        FoldedFlexonBackend,
+        HybridBackend,
+    )
+
+    name = spec.get("backend", "reference")
+    dt = float(spec.get("dt", 1e-4))
+    solver = spec.get("solver", "Euler")
+    if name == "reference":
+        return ReferenceBackend(solver)
+    if name == "flexon":
+        return FlexonBackend(dt)
+    if name == "folded":
+        return FoldedFlexonBackend(dt)
+    if name == "hybrid":
+        return HybridBackend(dt, solver=solver)
+    raise ConfigurationError(
+        f"unknown backend {name!r}; choose from {_BACKENDS}"
+    )
+
+
+def build_simulation(spec: Dict) -> Tuple[Simulator, Network]:
+    """Network + backend + simulator, ready to ``run(n_steps)``."""
+    network = build_network(spec)
+    backend = build_backend(spec)
+    simulator = Simulator(
+        network,
+        backend,
+        dt=float(spec.get("dt", 1e-4)),
+        seed=int(spec.get("seed", 0)),
+    )
+    return simulator, network
+
+
+def example_spec() -> Dict:
+    """A ready-to-run specification (used by docs, tests, and the CLI)."""
+    return {
+        "name": "frontend-demo",
+        "dt": 1e-4,
+        "seed": 7,
+        "backend": "folded",
+        "populations": [
+            {"name": "exc", "n": 80, "model": "DLIF"},
+            {"name": "inh", "n": 20, "model": "DLIF"},
+        ],
+        "projections": [
+            {"pre": "exc", "post": "exc", "probability": 0.1,
+             "weight": 0.05, "syn_type": 0},
+            {"pre": "exc", "post": "inh", "probability": 0.1,
+             "weight": 0.05, "syn_type": 0},
+            {"pre": "inh", "post": "exc", "probability": 0.1,
+             "weight": 0.3, "syn_type": 1},
+        ],
+        "stimuli": [
+            {"kind": "poisson", "target": "exc", "rate_hz": 500,
+             "weight": 0.08, "n_sources": 10},
+        ],
+    }

@@ -1,0 +1,107 @@
+"""Digital-neuron array timing models (the Table VI configurations).
+
+The paper evaluates two synthesized arrays:
+
+* a **12-neuron Flexon array** at 250 MHz — 12 matches the core count
+  of the baseline Xeon; each physical neuron updates one logical neuron
+  per cycle (single-cycle design);
+* a **72-neuron spatially folded Flexon array** at 500 MHz — 72 chosen
+  because folded Flexon's footprint is ~5.4x smaller; each logical
+  neuron occupies the pipeline for ``signals + 1`` cycles.
+
+Arrays time-multiplex the (much larger) logical neuron population of an
+SNN across their physical neurons, exactly like TrueNorth-style
+neurosynaptic cores. This module models the resulting per-time-step
+neuron-computation latency; energy comes from the cost model
+(:mod:`repro.costmodel`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Paper clock frequencies after the 20% synthesis slack margin.
+FLEXON_CLOCK_HZ = 250e6
+FOLDED_CLOCK_HZ = 500e6
+
+
+@dataclass(frozen=True)
+class NeuronArray:
+    """A bank of identical physical digital neurons."""
+
+    n_physical: int
+    clock_hz: float
+    #: Extra cycles per logical neuron for state fetch/write-back
+    #: (SRAM round trip); the single-cycle Flexon overlaps these.
+    overhead_cycles: int = 0
+    #: Pipeline depth (fill cost paid once per batch).
+    pipeline_depth: int = 1
+    #: Fixed per-time-step overhead [s]: array sequencing plus the
+    #: host-side hand-off of accumulated weights and fired spikes.
+    per_step_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_physical <= 0:
+            raise ConfigurationError("array needs at least one neuron")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock must be positive")
+
+    def step_cycles(self, n_logical: int, cycles_per_neuron: int = 1) -> int:
+        """Cycles to update ``n_logical`` neurons for one time step."""
+        if n_logical < 0:
+            raise ConfigurationError("n_logical must be non-negative")
+        if n_logical == 0:
+            return 0
+        per_neuron = cycles_per_neuron + self.overhead_cycles
+        batches = math.ceil(n_logical / self.n_physical)
+        return batches * per_neuron + (self.pipeline_depth - 1)
+
+    def step_latency_seconds(
+        self, n_logical: int, cycles_per_neuron: int = 1
+    ) -> float:
+        """Neuron-computation latency of one time step, in seconds."""
+        cycles = self.step_cycles(n_logical, cycles_per_neuron)
+        return cycles / self.clock_hz + self.per_step_overhead_s
+
+
+class FlexonArray(NeuronArray):
+    """The 12-neuron baseline Flexon array (single-cycle updates)."""
+
+    def __init__(self, n_physical: int = 12, clock_hz: float = FLEXON_CLOCK_HZ):
+        super().__init__(
+            n_physical=n_physical,
+            clock_hz=clock_hz,
+            overhead_cycles=0,
+            pipeline_depth=1,
+            per_step_overhead_s=0.5e-6,
+        )
+
+    def step_cycles(self, n_logical: int, cycles_per_neuron: int = 1) -> int:
+        # Single-cycle design: the microprogram length is irrelevant —
+        # every enabled data path evaluates in the same cycle.
+        return super().step_cycles(n_logical, cycles_per_neuron=1)
+
+
+class FoldedFlexonArray(NeuronArray):
+    """The 72-neuron spatially folded array (2-stage pipeline).
+
+    Pass the compiled microprogram's *signal count* as
+    ``cycles_per_neuron``: while one neuron occupies the second stage
+    (fire/write-back), the next neuron's control signals already issue
+    into the first stage, so the initiation interval equals the signal
+    count and only the last neuron pays the extra pipeline-drain cycle.
+    (A single neuron's end-to-end latency is ``signals + 1`` cycles —
+    e.g. QDI's two signals take three cycles, Section V-B.)
+    """
+
+    def __init__(self, n_physical: int = 72, clock_hz: float = FOLDED_CLOCK_HZ):
+        super().__init__(
+            n_physical=n_physical,
+            clock_hz=clock_hz,
+            overhead_cycles=0,
+            pipeline_depth=2,
+            per_step_overhead_s=0.5e-6,
+        )

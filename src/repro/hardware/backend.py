@@ -1,0 +1,177 @@
+"""Network-simulator backends running neuron computation on Flexon.
+
+These backends plug the fixed-point digital-neuron models into the
+three-phase simulator: the synapse-calculation and stimulus phases stay
+on the host (as in the paper's system model, where Flexon accelerates
+neuron computation only), while each population's neuron updates run on
+a :class:`~repro.hardware.flexon.FlexonNeuron` or
+:class:`~repro.hardware.folded.FoldedFlexonNeuron` array model.
+
+:class:`HybridBackend` implements the Section VII-A fallback: models
+the compiler cannot express (e.g. Hodgkin-Huxley) stay on the
+general-purpose reference backend, while supported populations are
+offloaded to Flexon — the paper's mixed AdEx + HH scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.fixedpoint import fx_from_float
+from repro.hardware.compiler import CompiledModel, FlexonCompiler
+from repro.hardware.flexon import FlexonNeuron
+from repro.hardware.folded import FoldedFlexonNeuron
+from repro.models.base import State
+from repro.network.backends import Backend
+from repro.network.network import Network
+from repro.solvers import Solver, create_solver
+
+_HardwareNeuron = Union[FlexonNeuron, FoldedFlexonNeuron]
+
+
+class _HardwareBackendBase(Backend):
+    """Shared compile/advance plumbing of the two hardware backends."""
+
+    folded = False
+
+    def __init__(self, dt: float = 1e-4, compiler: Optional[FlexonCompiler] = None):
+        super().__init__()
+        self.dt = dt
+        self.compiler = compiler if compiler is not None else FlexonCompiler()
+        self.compiled: Dict[str, CompiledModel] = {}
+        self._neurons: Dict[str, _HardwareNeuron] = {}
+
+    def prepare(self, network: Network) -> None:
+        self.network = network
+        self.compiled = {}
+        self._neurons = {}
+        for name, population in network.populations.items():
+            compiled = self.compiler.compile(population.model, self.dt)
+            self.compiled[name] = compiled
+            if self.folded:
+                self._neurons[name] = compiled.instantiate_folded(population.n)
+            else:
+                self._neurons[name] = compiled.instantiate_flexon(population.n)
+
+    def advance(self, population: str, inputs: np.ndarray, dt: float) -> np.ndarray:
+        if population not in self._neurons:
+            raise SimulationError(f"unknown population {population!r}")
+        if abs(dt - self.dt) > 1e-15:
+            raise SimulationError(
+                f"backend compiled for dt={self.dt}, asked to step dt={dt}; "
+                "constants are baked per time step"
+            )
+        compiled = self.compiled[population]
+        raw = fx_from_float(
+            inputs * compiled.weight_scale, compiled.constants.fmt
+        )
+        return self._neurons[population].step(raw)
+
+    def state_of(self, population: str) -> State:
+        if population not in self._neurons:
+            raise SimulationError(f"unknown population {population!r}")
+        return self._neurons[population].float_state()
+
+    def cycles_per_neuron(self, population: str) -> int:
+        """Pipeline occupancy per logical neuron for one step."""
+        if self.folded:
+            return self.compiled[population].cycles_per_neuron_folded
+        return FlexonNeuron.CYCLES_PER_NEURON
+
+
+class FlexonBackend(_HardwareBackendBase):
+    """Neuron computation on baseline (single-cycle) Flexon."""
+
+    folded = False
+    name = "flexon"
+
+
+class FoldedFlexonBackend(_HardwareBackendBase):
+    """Neuron computation on spatially folded Flexon."""
+
+    folded = True
+    name = "folded-flexon"
+
+
+class HybridBackend(Backend):
+    """Flexon for supported models, reference solver for the rest.
+
+    The Section VII-A scenario: "when an SNN consists of both the
+    supported and the unsupported neuron models (e.g., a mixture of
+    AdEx and HH), we can still accelerate SNN simulations by offloading
+    the supported neuron models to Flexon."
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        dt: float = 1e-4,
+        solver: str = "Euler",
+        folded: bool = True,
+        compiler: Optional[FlexonCompiler] = None,
+    ):
+        super().__init__()
+        self.dt = dt
+        self.solver_name = solver
+        self.compiler = compiler if compiler is not None else FlexonCompiler()
+        self._hardware: _HardwareBackendBase = (
+            FoldedFlexonBackend(dt, self.compiler)
+            if folded
+            else FlexonBackend(dt, self.compiler)
+        )
+        self._software_states: Dict[str, State] = {}
+        self._software_solvers: Dict[str, Solver] = {}
+        self.offloaded: Dict[str, bool] = {}
+
+    def prepare(self, network: Network) -> None:
+        self.network = network
+        self._software_states = {}
+        self._software_solvers = {}
+        self.offloaded = {}
+        hardware_network = Network(f"{network.name}-hw")
+        for name, population in network.populations.items():
+            if self.compiler.supports(population.model):
+                hardware_network.add_population(
+                    name, population.n, population.model
+                )
+                self.offloaded[name] = True
+            else:
+                self._software_states[name] = population.model.initial_state(
+                    population.n
+                )
+                self._software_solvers[name] = create_solver(self.solver_name)
+                self.offloaded[name] = False
+        self._hardware.prepare(hardware_network)
+
+    def advance(self, population: str, inputs: np.ndarray, dt: float) -> np.ndarray:
+        if self.offloaded.get(population):
+            return self._hardware.advance(population, inputs, dt)
+        if population not in self._software_states:
+            raise SimulationError(f"unknown population {population!r}")
+        model = self.network.populations[population].model
+        return self._software_solvers[population].advance(
+            model, self._software_states[population], inputs, dt
+        )
+
+    def state_of(self, population: str) -> State:
+        if self.offloaded.get(population):
+            return self._hardware.state_of(population)
+        return self._software_states[population]
+
+    def offloaded_fraction(self) -> float:
+        """Fraction of neurons running on the digital-neuron array."""
+        if self.network is None:
+            return 0.0
+        total = self.network.n_neurons
+        if total == 0:
+            return 0.0
+        on_hw = sum(
+            population.n
+            for name, population in self.network.populations.items()
+            if self.offloaded.get(name)
+        )
+        return on_hw / total

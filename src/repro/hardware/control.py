@@ -1,0 +1,111 @@
+"""Control-signal encoding for spatially folded Flexon (paper Table IV).
+
+One control signal describes one pass through the shared MUL-ADD(-EXP)
+pipeline::
+
+    out = maybe_exp( MUL_operand * state[s] + ADD_operand )
+
+* the MUL operand is a constant (``a = 0``, selected by ``ca``) or the
+  ``tmp`` register (``a = 1``);
+* the ADD operand is zero, a constant (selected by ``cb``), the
+  accumulated input of synapse type ``type``, or ``tmp`` (``b`` =
+  0/1/2/3);
+* ``exp`` routes the MUL-ADD output through the exponential unit;
+* ``s_wr`` writes the result back to state variable ``s``;
+* ``v_acc`` accumulates the result into the membrane accumulator v'.
+
+The result is always latched into ``tmp`` (the paper's Table V uses the
+previous op's output via ``tmp`` without an explicit write-enable, so
+the latch is implicit).
+
+One documented extension: ``b = BOperand.LEAK`` feeds the ADD port with
+``-min(V_leak, max(state[s], 0))`` — the clamped linear leak. The
+paper's LID row has no clamp because its evaluation never drives LID
+below rest; our workloads do, so the clamp comparator/MUX pair of the
+CUB/EXD/LID data path (Figure 9a) is exposed as an operand mode here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MicrocodeError
+
+
+class AOperand(enum.IntEnum):
+    """MUL operand source (Table IV signal ``a``)."""
+
+    CONSTANT = 0
+    TMP = 1
+
+
+class BOperand(enum.IntEnum):
+    """ADD operand source (Table IV signal ``b``), plus the LEAK mode."""
+
+    ZERO = 0
+    CONSTANT = 1
+    INPUT = 2
+    TMP = 3
+    LEAK = 4  # documented extension: clamped -V_leak
+
+
+#: State-variable register file indices (signal ``s``, 0-15). The
+#: layout fixes v at 0 and leaves room for four synapse types.
+STATE_V = 0
+STATE_G = {i: 1 + i for i in range(4)}  # g0..g3 -> 1..4
+STATE_Y = {i: 5 + i for i in range(4)}  # y0..y3 -> 5..8
+STATE_W = 9
+STATE_R = 10
+N_STATE_REGISTERS = 16
+
+STATE_NAMES = {STATE_V: "v", STATE_W: "w", STATE_R: "r"}
+STATE_NAMES.update({idx: f"g{i}" for i, idx in STATE_G.items()})
+STATE_NAMES.update({idx: f"y{i}" for i, idx in STATE_Y.items()})
+
+
+@dataclass(frozen=True)
+class ControlSignal:
+    """One Table IV control word."""
+
+    a: AOperand = AOperand.CONSTANT
+    ca: int = 0  #: MUL constant index (when a == CONSTANT)
+    b: BOperand = BOperand.ZERO
+    cb: int = 0  #: ADD constant index (when b == CONSTANT)
+    syn_type: int = 0  #: input row select (when b == INPUT)
+    s: int = STATE_V  #: state register for the MUL port
+    exp: bool = False  #: exponentiate the MUL-ADD output
+    s_wr: bool = False  #: write result to state register ``s``
+    v_acc: bool = False  #: accumulate result into v'
+    note: str = ""  #: human-readable description (Table V's column)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ca < 16:
+            raise MicrocodeError(f"ca out of range 0..15: {self.ca}")
+        if not 0 <= self.cb < 8:
+            raise MicrocodeError(f"cb out of range 0..7: {self.cb}")
+        if not 0 <= self.syn_type < 4:
+            raise MicrocodeError(f"syn_type out of range 0..3: {self.syn_type}")
+        if not 0 <= self.s < N_STATE_REGISTERS:
+            raise MicrocodeError(f"s out of range 0..15: {self.s}")
+
+    def describe(self) -> str:
+        """Render the op roughly in Table V's operation notation."""
+        mul = f"c[{self.ca}]" if self.a == AOperand.CONSTANT else "tmp"
+        state = STATE_NAMES.get(self.s, f"s{self.s}")
+        adds = {
+            BOperand.ZERO: "0",
+            BOperand.CONSTANT: f"k[{self.cb}]",
+            BOperand.INPUT: f"I[{self.syn_type}]",
+            BOperand.TMP: "tmp",
+            BOperand.LEAK: "-leak",
+        }
+        expr = f"{mul}*{state} + {adds[self.b]}"
+        if self.exp:
+            expr = f"exp({expr})"
+        targets = ["tmp"]
+        if self.s_wr:
+            targets.append(state)
+        if self.v_acc:
+            targets.append("v'")
+        return f"{', '.join(targets)} <- {expr}"

@@ -1,0 +1,118 @@
+"""Event-driven execution analysis (the paper's LLIF rationale).
+
+Section IV-A: LLIF "does not need multiplication units and is suitable
+for event-driven execution, reducing hardware costs and energy
+consumption." Event-driven execution skips the update of neurons whose
+state cannot change: in fixed point, a neuron with every state variable
+exactly at its rest value and no incoming weight this step is a *fixed
+point* of the update — stepping it is the identity, so skipping it is
+exact (unlike in floating point, where exponential decay only
+asymptotically approaches rest, quantised decay reaches raw zero in
+finitely many steps, so the skippable set is non-empty for every
+Table III model, and immediately so for LLIF's clamped linear decay).
+
+:class:`EventDrivenMonitor` wraps a hardware neuron, classifies each
+neuron as active/idle per step, and accumulates the activity factor;
+:func:`event_driven_power` scales a design's dynamic power by it. The
+skip-is-identity invariant is verified by tests, so counting (rather
+than literally skipping) is a sound energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.features import Feature, FeatureSet
+from repro.hardware.flexon import FlexonNeuron
+from repro.hardware.folded import FoldedFlexonNeuron
+
+_HardwareNeuron = Union[FlexonNeuron, FoldedFlexonNeuron]
+
+
+def supports_event_driven(features: FeatureSet) -> bool:
+    """Whether a zero-state, zero-input neuron is a true fixed point.
+
+    EXI contributes ``delta_T * eps_m * exp(-theta/delta_T)`` even at
+    rest, and SBT drives ``w`` toward tracking ``v - v_w`` — both are
+    nonzero at the all-zero state, so models carrying them always
+    compute (the biological point of those features is precisely
+    activity at rest). Every other combination — notably LLIF, the
+    model the paper calls "suitable for event-driven execution" — has
+    the all-zero state as an exact fixed point.
+    """
+    return not features.features & {Feature.EXI, Feature.SBT}
+
+
+def _features_of(neuron: _HardwareNeuron) -> FeatureSet:
+    if isinstance(neuron, FlexonNeuron):
+        return neuron.features
+    return neuron.program.features
+
+
+def idle_mask(neuron: _HardwareNeuron, raw_inputs: np.ndarray) -> np.ndarray:
+    """Neurons whose update this step is provably the identity.
+
+    A neuron is idle when its model supports event-driven execution,
+    it receives no input weight this step, and every architectural
+    state variable sits exactly at its reset/rest value (raw zero; the
+    refractory counter at zero).
+    """
+    if not supports_event_driven(_features_of(neuron)):
+        return np.zeros(raw_inputs.shape[1], dtype=bool)
+    idle = ~raw_inputs.any(axis=0)
+    if isinstance(neuron, FlexonNeuron):
+        for name, values in neuron.state.items():
+            idle &= values == 0
+    else:
+        idle &= ~neuron.regs.any(axis=0)
+        if neuron.cnt is not None:
+            idle &= neuron.cnt == 0
+    return idle
+
+
+@dataclass
+class EventDrivenMonitor:
+    """Wraps a hardware neuron and tracks the activity factor."""
+
+    neuron: _HardwareNeuron
+    active_updates: int = 0
+    total_updates: int = 0
+    _last_idle: np.ndarray = field(default=None, repr=False)
+
+    def step(self, raw_inputs: np.ndarray) -> np.ndarray:
+        """Step the wrapped neuron, recording how many were active."""
+        idle = idle_mask(self.neuron, raw_inputs)
+        self._last_idle = idle
+        self.active_updates += int((~idle).sum())
+        self.total_updates += idle.size
+        return self.neuron.step(raw_inputs)
+
+    @property
+    def activity_factor(self) -> float:
+        """Fraction of neuron updates that actually needed computing."""
+        if self.total_updates == 0:
+            return 1.0
+        return self.active_updates / self.total_updates
+
+    @property
+    def last_idle_mask(self) -> np.ndarray:
+        """The idle classification of the most recent step."""
+        return self._last_idle
+
+
+def event_driven_power(
+    total_power_w: float,
+    static_fraction: float,
+    activity_factor: float,
+) -> float:
+    """Array power under event-driven scheduling.
+
+    Static power (leakage plus always-on control/SRAM retention) is
+    unaffected; dynamic power scales with the activity factor.
+    """
+    static = total_power_w * static_fraction
+    dynamic = total_power_w - static
+    return static + dynamic * activity_factor

@@ -1,0 +1,159 @@
+"""Spatially folded Flexon: microcoded two-stage pipeline (Figure 11).
+
+Where the baseline Flexon instantiates every data path, the folded
+design shares one multiplier, one adder and one exponential unit, and
+schedules each feature's sub-operations over them with control signals
+(Section V-B). This model interprets assembled
+:class:`~repro.hardware.microcode.Microprogram` objects:
+
+* **stage 1** executes the control signals — each is one pass through
+  the shared MUL-ADD(-EXP) with operands selected per Table IV — and
+  accumulates contributions into the membrane accumulator v';
+* **stage 2** checks the firing condition, applies resets and
+  spike-triggered jumps, ticks the refractory counter, and writes the
+  (truncated) membrane value back.
+
+Functional correctness is verified against the baseline Flexon bit for
+bit (the equivalence the paper's Table V schedules must guarantee), and
+the per-neuron cycle occupancy (``signals + 1``) feeds the Figure 13
+latency model — e.g. QDI's structural hazard on the single multiplier
+makes its simulation take an extra cycle, exactly as Section V-B notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.features import Feature
+from repro.fixedpoint import MEMBRANE_FORMAT, FixedFormat, fx_add, fx_exp, fx_mul
+from repro.hardware import datapaths as dp
+from repro.hardware.control import (
+    AOperand,
+    BOperand,
+    N_STATE_REGISTERS,
+    STATE_G,
+    STATE_R,
+    STATE_V,
+    STATE_W,
+    STATE_Y,
+)
+from repro.hardware.microcode import Microprogram
+
+
+class FoldedFlexonNeuron:
+    """A vectorised array of folded Flexon neurons running one program."""
+
+    def __init__(
+        self,
+        program: Microprogram,
+        n: int,
+        membrane_format: Optional[FixedFormat] = MEMBRANE_FORMAT,
+    ):
+        self.program = program
+        self.n = n
+        self.membrane_format = membrane_format
+        self.regs = np.zeros((N_STATE_REGISTERS, n), dtype=np.int64)
+        if Feature.AR in program.features:
+            self.cnt = np.zeros(n, dtype=np.int64)
+        else:
+            self.cnt = None
+        #: Total pipeline cycles consumed so far (all neurons).
+        self.total_cycles = 0
+
+    @property
+    def cycles_per_neuron(self) -> int:
+        """Pipeline occupancy of one neuron update."""
+        return self.program.cycles_per_neuron
+
+    def step(self, raw_inputs: np.ndarray) -> np.ndarray:
+        """Advance every neuron one time step; return the fired mask."""
+        program = self.program
+        c = program.constants
+        fmt = c.fmt
+        if raw_inputs.shape != (c.n_synapse_types, self.n):
+            raise SimulationError(
+                f"expected inputs of shape {(c.n_synapse_types, self.n)}, "
+                f"got {raw_inputs.shape}"
+            )
+        if self.cnt is not None:
+            gated = dp.ArPath.gate(raw_inputs, self.cnt)
+        else:
+            gated = raw_inputs
+
+        # -- stage 1: execute the control signals --------------------------
+        acc = np.zeros(self.n, dtype=np.int64)
+        tmp = np.zeros(self.n, dtype=np.int64)
+        for signal in program.signals:
+            if signal.a == AOperand.CONSTANT:
+                mul_operand = program.mul_constants[signal.ca]
+            else:
+                mul_operand = tmp
+            product = fx_mul(mul_operand, self.regs[signal.s], fmt)
+            if signal.b == BOperand.ZERO:
+                out = product
+            elif signal.b == BOperand.CONSTANT:
+                out = fx_add(product, program.add_constants[signal.cb], fmt)
+            elif signal.b == BOperand.INPUT:
+                out = fx_add(product, gated[signal.syn_type], fmt)
+            elif signal.b == BOperand.TMP:
+                out = fx_add(product, tmp, fmt)
+            else:  # LEAK: clamped -V_leak of the selected state register
+                leak = np.minimum(
+                    c.v_leak, np.maximum(self.regs[signal.s], 0)
+                )
+                out = fx_add(product, -leak, fmt)
+            if signal.exp:
+                out = fx_exp(out, fmt)
+            tmp = out
+            if signal.s_wr:
+                self.regs[signal.s] = out
+            if signal.v_acc:
+                acc = fx_add(acc, out, fmt)
+
+        # -- stage 2: fire, reset, write back --------------------------------
+        features = program.features
+        fired = acc > c.threshold
+        v_next = np.where(fired, np.int64(c.v_reset), acc)
+        if self.membrane_format is not None:
+            mf = self.membrane_format
+            v_next = np.clip(v_next, mf.raw_min, mf.raw_max)
+        self.regs[STATE_V] = v_next
+        # Jump signs mirror FlexonNeuron (RR conductances grow on fire).
+        if Feature.RR in features:
+            self.regs[STATE_W] = self.regs[STATE_W] + np.where(fired, c.b, 0)
+            self.regs[STATE_R] = self.regs[STATE_R] + np.where(
+                fired, c.q_r, 0
+            )
+        elif features.has_adaptation_state:
+            self.regs[STATE_W] = self.regs[STATE_W] - np.where(fired, c.b, 0)
+        if self.cnt is not None:
+            cnt = dp.ArPath.tick(self.cnt)
+            cnt[fired] = c.cnt_max
+            self.cnt = cnt
+        self.total_cycles += self.n * self.cycles_per_neuron
+        return fired
+
+    # -- host-side views -------------------------------------------------------
+
+    def float_state(self) -> Dict[str, np.ndarray]:
+        """The architectural state as floats, named like the models'."""
+        fmt = self.program.constants.fmt
+        c = self.program.constants
+        out = {"v": self.regs[STATE_V].astype(np.float64) / fmt.scale}
+        features = self.program.features
+        if features.uses_conductance:
+            for i in range(c.n_synapse_types):
+                out[f"g{i}"] = self.regs[STATE_G[i]].astype(np.float64) / fmt.scale
+        if Feature.COBA in features:
+            for i in range(c.n_synapse_types):
+                out[f"y{i}"] = self.regs[STATE_Y[i]].astype(np.float64) / fmt.scale
+        if features.has_adaptation_state:
+            out["w"] = self.regs[STATE_W].astype(np.float64) / fmt.scale
+        if Feature.RR in features:
+            out["r"] = self.regs[STATE_R].astype(np.float64) / fmt.scale
+        if self.cnt is not None:
+            out["cnt"] = self.cnt.astype(np.float64)
+        return out

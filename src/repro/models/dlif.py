@@ -1,0 +1,36 @@
+"""DLIF — LIF with decaying synaptic conductances and reversal voltages.
+
+DLIF extends DSRM0 with reversal-voltage scaling (REV): a conductance's
+contribution shrinks as the membrane potential approaches the synapse
+type's reversal voltage (Equation 4). This is the model used by three
+of the ten Table I workloads (Brette et al., Vogels et al.,
+Vogels-Abbott).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.features import features_for_model
+from repro.models.base import ModelParameters
+from repro.models.feature_model import FeatureModel
+
+
+class DLIF(FeatureModel):
+    """Conductance-based LIF with reversal (EXD + COBE + REV + AR)."""
+
+    name = "DLIF"
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        if parameters is None:
+            # Vogels-Abbott style: excitatory reversal well above
+            # threshold, inhibitory reversal below rest.
+            parameters = ModelParameters(
+                tau=20e-3,
+                tau_g=(5e-3, 10e-3),
+                v_g=(4.33, -1.0),
+                t_ref=5e-3,
+            )
+        super().__init__(
+            features_for_model("DLIF"), parameters, name=self.name
+        )

@@ -1,0 +1,30 @@
+"""DSRM0 — the zeroth-order spike response model with decaying synapses.
+
+Smith's digital DSRM0 neuron feeds input spikes through exponentially
+decaying synaptic conductances (COBE) without reversal scaling: a
+spike's influence on the membrane fades over the synaptic time constant
+rather than landing instantaneously (Equation 4, COBE row).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.features import features_for_model
+from repro.models.base import ModelParameters
+from repro.models.feature_model import FeatureModel
+
+
+class DSRM0(FeatureModel):
+    """Discrete SRM0 neuron (EXD + COBE + AR)."""
+
+    name = "DSRM0"
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        if parameters is None:
+            parameters = ModelParameters(
+                tau=20e-3, tau_g=(5e-3, 10e-3), t_ref=2e-3
+            )
+        super().__init__(
+            features_for_model("DSRM0"), parameters, name=self.name
+        )

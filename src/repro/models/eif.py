@@ -1,0 +1,35 @@
+"""EIF — exponential integrate-and-fire (Fourcaud-Trocme et al.).
+
+EIF uses an exponential spike-initiation term (EXI, Equation 5): near
+the threshold the drive grows as ``delta_T * exp((v - theta)/delta_T)``,
+giving a soft, biologically realistic spike onset. The sharpness factor
+``delta_T`` controls how abrupt the onset is.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.features import features_for_model
+from repro.models.base import ModelParameters
+from repro.models.feature_model import FeatureModel
+
+
+class EIF(FeatureModel):
+    """Exponential integrate-and-fire (EXD + COBE + REV + EXI + AR)."""
+
+    name = "EIF"
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        if parameters is None:
+            parameters = ModelParameters(
+                tau=20e-3,
+                tau_g=(5e-3, 10e-3),
+                v_g=(4.33, -1.0),
+                delta_t=0.133,
+                v_theta=2.0,
+                t_ref=2e-3,
+            )
+        super().__init__(
+            features_for_model("EIF"), parameters, name=self.name
+        )

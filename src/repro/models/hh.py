@@ -1,0 +1,118 @@
+"""Hodgkin-Huxley — the high-accuracy model Flexon does NOT support.
+
+HH (Hodgkin & Huxley 1952) models the membrane as an RC circuit with
+voltage-gated sodium and potassium channels; the gating variables
+``m``, ``h``, ``n`` follow first-order kinetics with voltage-dependent
+rates that involve exponentials *and divisions*. Section VII-A names
+division as an operation Flexon lacks, so HH is the canonical model the
+hybrid simulation path offloads back to the general-purpose processor.
+This implementation exists to exercise exactly that path (mixed
+AdEx + HH networks) and to serve as a "too expensive for practical use"
+cost-model reference.
+
+Units are the classic ones: membrane potential in mV (rest ~ -65 mV),
+conductances in mS/cm^2, currents in uA/cm^2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import ModelParameters, NeuronModel, State
+
+
+class HodgkinHuxley(NeuronModel):
+    """Classic squid-axon Hodgkin-Huxley neuron."""
+
+    name = "HH"
+
+    #: Channel conductances [mS/cm^2] and reversal potentials [mV].
+    g_na, e_na = 120.0, 50.0
+    g_k, e_k = 36.0, -77.0
+    g_l, e_l = 0.3, -54.387
+    c_m = 1.0  #: membrane capacitance [uF/cm^2]
+    v_spike = 0.0  #: spike detection threshold [mV]
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        super().__init__(parameters)
+
+    def state_variable_names(self) -> Tuple[str, ...]:
+        return ("v", "m", "h", "n", "above")
+
+    def initial_state(self, n: int) -> State:
+        v = np.full(n, -65.0, dtype=np.float64)
+        state: State = {"v": v}
+        # Gates start at their steady-state values at rest.
+        am, bm, ah, bh, an, bn = self._rates(v)
+        state["m"] = am / (am + bm)
+        state["h"] = ah / (ah + bh)
+        state["n"] = an / (an + bn)
+        state["above"] = np.zeros(n, dtype=np.float64)
+        return state
+
+    @staticmethod
+    def _rates(v: np.ndarray):
+        """The six voltage-dependent rate functions (per ms)."""
+        am = 0.1 * (v + 40.0) / (1.0 - np.exp(-(v + 40.0) / 10.0) + 1e-12)
+        bm = 4.0 * np.exp(-(v + 65.0) / 18.0)
+        ah = 0.07 * np.exp(-(v + 65.0) / 20.0)
+        bh = 1.0 / (1.0 + np.exp(-(v + 35.0) / 10.0))
+        an = 0.01 * (v + 55.0) / (1.0 - np.exp(-(v + 55.0) / 10.0) + 1e-12)
+        bn = 0.125 * np.exp(-(v + 65.0) / 80.0)
+        return am, bm, ah, bh, an, bn
+
+    def _currents(self, state: State) -> np.ndarray:
+        v = state["v"]
+        i_na = self.g_na * state["m"] ** 3 * state["h"] * (v - self.e_na)
+        i_k = self.g_k * state["n"] ** 4 * (v - self.e_k)
+        i_l = self.g_l * (v - self.e_l)
+        return -(i_na + i_k + i_l)
+
+    #: Largest internal Euler substep [ms]. HH kinetics are stiff: at
+    #: the simulator's 0.1 ms step the gates diverge, so the model
+    #: substeps internally — the very cost that makes HH "not
+    #: acceptable for practical uses" on general-purpose hosts.
+    MAX_SUBSTEP_MS = 0.01
+
+    def step(self, state: State, inputs: np.ndarray, dt: float) -> np.ndarray:
+        ms = dt * 1e3
+        substeps = max(1, int(np.ceil(ms / self.MAX_SUBSTEP_MS)))
+        h = ms / substeps
+        injected = inputs.sum(axis=0)
+        fired = np.zeros(state["v"].shape[0], dtype=bool)
+        for _ in range(substeps):
+            v = state["v"]
+            current = injected + self._currents(state)
+            am, bm, ah, bh, an, bn = self._rates(v)
+            for gate, alpha, beta in (
+                ("m", am, bm),
+                ("h", ah, bh),
+                ("n", an, bn),
+            ):
+                x = state[gate]
+                x += h * (alpha * (1.0 - x) - beta * x)
+                np.clip(x, 0.0, 1.0, out=x)
+            v += h * current / self.c_m
+            np.clip(v, -120.0, 70.0, out=v)
+            # A spike is an upward crossing of v_spike.
+            above = v > self.v_spike
+            fired |= above & (state["above"] <= 0.0)
+            state["above"] = above.astype(np.float64)
+        return fired
+
+    def derivatives(self, state: State) -> State:
+        v = state["v"]
+        am, bm, ah, bh, an, bn = self._rates(v)
+        return {
+            "v": self._currents(state) / self.c_m * 1e3,
+            "m": (am * (1.0 - state["m"]) - bm * state["m"]) * 1e3,
+            "h": (ah * (1.0 - state["h"]) - bh * state["h"]) * 1e3,
+            "n": (an * (1.0 - state["n"]) - bn * state["n"]) * 1e3,
+            "above": np.zeros_like(v),
+        }
+
+    def ops_per_update(self):
+        # Six rate functions: exponentials plus divisions dominate.
+        return {"mul": 24, "add": 22, "exp": 6, "cmp": 1}

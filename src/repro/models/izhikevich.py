@@ -1,0 +1,115 @@
+"""Izhikevich's simple model, in two formulations.
+
+:class:`Izhikevich` is the paper's feature-based mapping (Table III):
+EXD + COBE + REV + QDI + ADT + AR. The quadratic initiation supplies
+the ``0.04 v^2``-style acceleration and the adaptation current plays the
+role of Izhikevich's recovery variable ``u``.
+
+:class:`NativeIzhikevich` is the original two-variable formulation
+(Izhikevich 2003)::
+
+    v' = 0.04 v^2 + 5 v + 140 - u + I
+    u' = a (b v - u)
+    if v >= 30 mV: v <- c, u <- u + d
+
+kept in its native millivolt units. It exists as an independent
+cross-check: tests verify that both formulations produce the same
+qualitative behaviours (tonic spiking, adaptation) even though their
+state spaces differ.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.features import features_for_model
+from repro.models.base import ModelParameters, NeuronModel, State
+from repro.models.feature_model import FeatureModel
+
+
+class Izhikevich(FeatureModel):
+    """Feature-based Izhikevich model (EXD+COBE+REV+QDI+ADT+AR)."""
+
+    name = "Izhikevich"
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        if parameters is None:
+            parameters = ModelParameters(
+                tau=20e-3,
+                tau_g=(5e-3, 10e-3),
+                v_g=(4.33, -1.0),
+                v_c=0.5,
+                v_theta=2.0,
+                tau_w=100e-3,
+                b=0.1,
+                t_ref=1e-3,
+            )
+        super().__init__(
+            features_for_model("Izhikevich"), parameters, name=self.name
+        )
+
+
+class NativeIzhikevich(NeuronModel):
+    """Izhikevich's original (v, u) formulation in millivolt units.
+
+    The regime is set by the classic ``(a, b, c, d)`` quadruple;
+    defaults give regular (tonic) spiking. Inputs are interpreted as
+    currents in the model's native units; both synapse-type rows of the
+    input array are summed (inhibitory weights should be negative).
+    """
+
+    name = "NativeIzhikevich"
+
+    def __init__(
+        self,
+        a: float = 0.02,
+        b: float = 0.2,
+        c: float = -65.0,
+        d: float = 8.0,
+        parameters: Optional[ModelParameters] = None,
+    ):
+        super().__init__(parameters)
+        self.a = a
+        self.b = b
+        self.c = c
+        self.d = d
+
+    def state_variable_names(self) -> Tuple[str, ...]:
+        return ("v", "u")
+
+    def initial_state(self, n: int) -> State:
+        state = {
+            "v": np.full(n, self.c, dtype=np.float64),
+            "u": np.full(n, self.b * self.c, dtype=np.float64),
+        }
+        return state
+
+    def step(self, state: State, inputs: np.ndarray, dt: float) -> np.ndarray:
+        # The canonical formulation advances in 1 ms units; dt arrives
+        # in seconds.
+        ms = dt * 1e3
+        v = state["v"]
+        u = state["u"]
+        current = inputs.sum(axis=0)
+        dv = 0.04 * v * v + 5.0 * v + 140.0 - u + current
+        du = self.a * (self.b * v - u)
+        v += ms * dv
+        u += ms * du
+        fired = v >= 30.0
+        v[fired] = self.c
+        u[fired] += self.d
+        return fired
+
+    def derivatives(self, state: State) -> State:
+        v = state["v"]
+        u = state["u"]
+        return {
+            # per second: the native equations are per millisecond
+            "v": (0.04 * v * v + 5.0 * v + 140.0 - u) * 1e3,
+            "u": self.a * (self.b * v - u) * 1e3,
+        }
+
+    def ops_per_update(self):
+        return {"mul": 5, "add": 6, "exp": 0, "cmp": 1}

@@ -1,0 +1,27 @@
+"""Leaky Integrate-and-Fire — the paper's baseline model (Equation 2).
+
+LIF combines current-based accumulation (CUB) with exponential membrane
+decay (EXD): the membrane potential relaxes exponentially toward the
+resting voltage and input spike weights are added instantly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.features import features_for_model
+from repro.models.base import ModelParameters
+from repro.models.feature_model import FeatureModel
+
+
+class LIF(FeatureModel):
+    """Baseline leaky integrate-and-fire neuron (CUB + EXD)."""
+
+    name = "LIF"
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        if parameters is None:
+            parameters = ModelParameters(tau=20e-3)
+        super().__init__(
+            features_for_model("LIF"), parameters, name=self.name
+        )

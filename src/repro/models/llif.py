@@ -1,0 +1,29 @@
+"""Linear-Leak Integrate-and-Fire (LLIF) — the TrueNorth-style model.
+
+LLIF replaces LIF's exponential decay with a fixed linear decrement
+(LID, Equation 3), which removes the need for a multiplier — the reason
+Nere et al. and IBM TrueNorth adopt it. The decay clamps at the resting
+voltage, reproducing the steady state of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.features import features_for_model
+from repro.models.base import ModelParameters
+from repro.models.feature_model import FeatureModel
+
+
+class LLIF(FeatureModel):
+    """Linear-leak integrate-and-fire neuron (LID + CUB + AR)."""
+
+    name = "LLIF"
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        if parameters is None:
+            # A leak that drains one threshold unit in ~50 ms.
+            parameters = ModelParameters(leak_rate=20.0, t_ref=2e-3)
+        super().__init__(
+            features_for_model("LLIF"), parameters, name=self.name
+        )

@@ -1,0 +1,58 @@
+"""PyNN standard-cell models referenced in Tables I and III.
+
+``IF_psc_alpha`` (used by the Brunel workload) is a LIF neuron with
+alpha-shaped post-synaptic *currents*: the alpha kernel (COBA) without
+reversal scaling. ``IF_cond_exp_gsfa_grr`` (used by the Muller et al.
+workload) is a conductance-based LIF with spike-frequency adaptation
+(the ``gsfa`` conductance, our ``w``) and a relative-refractory
+conductance (``grr``, our ``r``) — the only Table III model using RR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.features import features_for_model
+from repro.models.base import ModelParameters
+from repro.models.feature_model import FeatureModel
+
+
+class IFPscAlpha(FeatureModel):
+    """PyNN IF_psc_alpha: LIF with alpha-function PSCs (EXD+COBA+AR)."""
+
+    name = "IF_psc_alpha"
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        if parameters is None:
+            parameters = ModelParameters(
+                tau=20e-3, tau_g=(2e-3, 2e-3), t_ref=2e-3
+            )
+        super().__init__(
+            features_for_model("IF_psc_alpha"), parameters, name=self.name
+        )
+
+
+class IFCondExpGsfaGrr(FeatureModel):
+    """PyNN IF_cond_exp_gsfa_grr: conductance LIF + adaptation + RR."""
+
+    name = "IF_cond_exp_gsfa_grr"
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        if parameters is None:
+            parameters = ModelParameters(
+                tau=20e-3,
+                tau_g=(5e-3, 10e-3),
+                v_g=(4.33, -1.0),
+                tau_w=110e-3,  # sfa decay
+                b=0.05,  # q_sfa
+                tau_r=1.97e-3,  # rr decay
+                q_r=0.3,  # q_rr
+                v_rr=-1.0,  # E_rr below rest
+                v_ar=-0.5,  # E_sfa
+                t_ref=2e-3,
+            )
+        super().__init__(
+            features_for_model("IF_cond_exp_gsfa_grr"),
+            parameters,
+            name=self.name,
+        )

@@ -1,0 +1,35 @@
+"""QIF — quadratic integrate-and-fire (Neurogrid's neuron model).
+
+QIF replaces instant spike initiation with a quadratic drive term
+(QDI, Equation 5): past the critical voltage the membrane accelerates
+toward the firing voltage on its own, and a spike is emitted only once
+``v`` exceeds ``v_theta`` (> theta), not theta itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.features import features_for_model
+from repro.models.base import ModelParameters
+from repro.models.feature_model import FeatureModel
+
+
+class QIF(FeatureModel):
+    """Quadratic integrate-and-fire (EXD + COBE + REV + QDI + AR)."""
+
+    name = "QIF"
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        if parameters is None:
+            parameters = ModelParameters(
+                tau=20e-3,
+                tau_g=(5e-3, 10e-3),
+                v_g=(4.33, -1.0),
+                v_c=0.5,
+                v_theta=2.0,
+                t_ref=2e-3,
+            )
+        super().__init__(
+            features_for_model("QIF"), parameters, name=self.name
+        )

@@ -1,0 +1,96 @@
+"""Name-based neuron-model factory.
+
+The workloads of Table I and the experiment harnesses refer to models
+by name; this registry resolves those names (and a few PyNN-style
+aliases) to constructors. Custom models can be registered at runtime,
+which the Section VII-A hybrid-simulation example uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import UnknownModelError
+from repro.models.adex import AdEx, AdExCOBA
+from repro.models.base import ModelParameters, NeuronModel
+from repro.models.dlif import DLIF
+from repro.models.dsrm0 import DSRM0
+from repro.models.eif import EIF
+from repro.models.hh import HodgkinHuxley
+from repro.models.izhikevich import Izhikevich, NativeIzhikevich
+from repro.models.lif import LIF
+from repro.models.llif import LLIF
+from repro.models.pynn import IFCondExpGsfaGrr, IFPscAlpha
+from repro.models.qif import QIF
+from repro.models.slif import SLIF
+
+ModelFactory = Callable[..., NeuronModel]
+
+_REGISTRY: Dict[str, ModelFactory] = {
+    "LIF": LIF,
+    "LLIF": LLIF,
+    "SLIF": SLIF,
+    "DSRM0": DSRM0,
+    "DLIF": DLIF,
+    "QIF": QIF,
+    "EIF": EIF,
+    "Izhikevich": Izhikevich,
+    "NativeIzhikevich": NativeIzhikevich,
+    "AdEx": AdEx,
+    "AdEx_COBA": AdExCOBA,
+    "IF_psc_alpha": IFPscAlpha,
+    "IF_cond_exp_gsfa_grr": IFCondExpGsfaGrr,
+    "HH": HodgkinHuxley,
+}
+
+_ALIASES: Dict[str, str] = {
+    # PyNN / Table I spellings
+    "if_psc_alpha": "IF_psc_alpha",
+    "if_cond_exp_gsfa_grr": "IF_cond_exp_gsfa_grr",
+    "izhikevich": "Izhikevich",
+    "adex": "AdEx",
+    "adexcoba": "AdEx_COBA",
+    "adex_coba": "AdEx_COBA",
+    "hodgkinhuxley": "HH",
+    "hodgkin-huxley": "HH",
+    "lif": "LIF",
+    "llif": "LLIF",
+    "slif": "SLIF",
+    "dsrm0": "DSRM0",
+    "dlif": "DLIF",
+    "qif": "QIF",
+    "eif": "EIF",
+    "hh": "HH",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve an alias to the canonical registry key."""
+    if name in _REGISTRY:
+        return name
+    lowered = name.lower()
+    if lowered in _ALIASES:
+        return _ALIASES[lowered]
+    raise UnknownModelError(
+        f"unknown neuron model {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+    )
+
+
+def create_model(
+    name: str, parameters: Optional[ModelParameters] = None, **kwargs
+) -> NeuronModel:
+    """Instantiate a neuron model by (possibly aliased) name."""
+    factory = _REGISTRY[canonical_name(name)]
+    if parameters is not None:
+        return factory(parameters=parameters, **kwargs)
+    return factory(**kwargs)
+
+
+def register_model(name: str, factory: ModelFactory) -> None:
+    """Register a custom model constructor under ``name``."""
+    _REGISTRY[name] = factory
+
+
+def available_models() -> List[str]:
+    """Sorted canonical names of all registered models."""
+    return sorted(_REGISTRY)

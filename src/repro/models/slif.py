@@ -1,0 +1,27 @@
+"""LIF with step inputs (SLIF), one of Smith's four digital neurons.
+
+SLIF is the baseline LIF model plus an absolute refractory period:
+exponential decay, instant (current-based) input accumulation, and a
+post-spike window during which input spikes are ignored (Equation 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.features import features_for_model
+from repro.models.base import ModelParameters
+from repro.models.feature_model import FeatureModel
+
+
+class SLIF(FeatureModel):
+    """LIF with step inputs (EXD + CUB + AR)."""
+
+    name = "SLIF"
+
+    def __init__(self, parameters: Optional[ModelParameters] = None):
+        if parameters is None:
+            parameters = ModelParameters(tau=20e-3, t_ref=2e-3)
+        super().__init__(
+            features_for_model("SLIF"), parameters, name=self.name
+        )

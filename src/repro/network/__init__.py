@@ -1,0 +1,39 @@
+"""SNN description and time-step simulation framework.
+
+This package is the simulation substrate of the reproduction — the role
+NEST / GeNN / Brian play in the paper. It provides populations,
+projections (synapse groups with weights, types and delays), stimulus
+generators, spike recording, and a three-phase time-step loop
+(Section II-C): stimulus generation, neuron computation, and synapse
+calculation. The simulator instruments each phase with wall-clock time
+and operation counts, which drive the Figure 3 breakdown and the
+Figure 13 cost models.
+"""
+
+from repro.network.population import Population
+from repro.network.projection import Projection, connect
+from repro.network.stimulus import PatternStimulus, PoissonStimulus, Stimulus
+from repro.network.spike_queue import SpikeQueue
+from repro.network.recorder import SpikeRecord, SpikeRecorder, StateRecorder
+from repro.network.network import Network
+from repro.network.backends import Backend, ReferenceBackend
+from repro.network.simulator import PhaseStats, SimulationResult, Simulator
+
+__all__ = [
+    "Backend",
+    "Network",
+    "PatternStimulus",
+    "PhaseStats",
+    "PoissonStimulus",
+    "Population",
+    "Projection",
+    "ReferenceBackend",
+    "SimulationResult",
+    "Simulator",
+    "SpikeQueue",
+    "SpikeRecord",
+    "SpikeRecorder",
+    "StateRecorder",
+    "Stimulus",
+    "connect",
+]

@@ -1,0 +1,92 @@
+"""Simulation backends: who performs the neuron-computation phase.
+
+The paper's framing is that the three phases of a time step are fixed,
+but *where* neuron computation runs differs: on the CPU/GPU (NEST,
+GeNN), or on a digital-neuron array. A :class:`Backend` owns the state
+of every population and advances it one step at a time; the reference
+backend here uses the float models and a software solver, and the
+hardware backends in :mod:`repro.hardware.backend` run the fixed-point
+Flexon models instead.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.models.base import State
+from repro.network.network import Network
+from repro.solvers import Solver, create_solver
+
+
+class Backend(abc.ABC):
+    """Owns population state and runs the neuron-computation phase."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.network: Optional[Network] = None
+
+    @abc.abstractmethod
+    def prepare(self, network: Network) -> None:
+        """Allocate state for every population of ``network``."""
+
+    @abc.abstractmethod
+    def advance(self, population: str, inputs: np.ndarray, dt: float) -> np.ndarray:
+        """Advance one population one step; return the fired mask."""
+
+    @abc.abstractmethod
+    def state_of(self, population: str) -> State:
+        """A float-valued view of one population's state (for recording)."""
+
+    def evaluations_per_step(self, population: str) -> float:
+        """Solver evaluations charged per step (cost-model input)."""
+        return 1.0
+
+
+class ReferenceBackend(Backend):
+    """Float64 software backend — our stand-in for Brian/NEST.
+
+    One solver instance per population (they keep independent
+    evaluation counters). The solver kind applies network-wide, which
+    matches how Table I labels each workload "Euler" or "RKF45".
+    """
+
+    def __init__(self, solver: str = "Euler"):
+        super().__init__()
+        self.solver_name = solver
+        self.name = f"reference-{solver.lower()}"
+        self._states: Dict[str, State] = {}
+        self._solvers: Dict[str, Solver] = {}
+
+    def prepare(self, network: Network) -> None:
+        self.network = network
+        self._states = {}
+        self._solvers = {}
+        for name, population in network.populations.items():
+            self._states[name] = population.model.initial_state(population.n)
+            self._solvers[name] = create_solver(self.solver_name)
+
+    def _check_prepared(self, population: str) -> None:
+        if self.network is None:
+            raise SimulationError("backend not prepared; call prepare() first")
+        if population not in self._states:
+            raise SimulationError(f"unknown population {population!r}")
+
+    def advance(self, population: str, inputs: np.ndarray, dt: float) -> np.ndarray:
+        self._check_prepared(population)
+        model = self.network.populations[population].model
+        return self._solvers[population].advance(
+            model, self._states[population], inputs, dt
+        )
+
+    def state_of(self, population: str) -> State:
+        self._check_prepared(population)
+        return self._states[population]
+
+    def evaluations_per_step(self, population: str) -> float:
+        self._check_prepared(population)
+        return self._solvers[population].evaluations_per_step()

@@ -1,0 +1,214 @@
+"""Projections: synapse groups between populations.
+
+A projection stores its synapses in a CSR-like layout sorted by
+presynaptic neuron: ``pre_ptr[i] .. pre_ptr[i+1]`` indexes the synapses
+leaving pre-neuron ``i``, with parallel arrays for the target index,
+weight, delay (in time steps) and synapse type. This makes the synapse
+calculation phase — classify generated spikes by target and accumulate
+weights (Section II-C) — a vectorised gather/scatter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.population import Population
+
+
+class Projection:
+    """A set of synapses from ``pre`` to ``post``."""
+
+    def __init__(
+        self,
+        pre: Population,
+        post: Population,
+        pre_idx: np.ndarray,
+        post_idx: np.ndarray,
+        weights: np.ndarray,
+        delays: np.ndarray,
+        syn_type: int,
+        name: Optional[str] = None,
+    ):
+        pre_idx = np.asarray(pre_idx, dtype=np.int64)
+        post_idx = np.asarray(post_idx, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        delays = np.asarray(delays, dtype=np.int64)
+        sizes = {pre_idx.size, post_idx.size, weights.size, delays.size}
+        if len(sizes) != 1:
+            raise ConfigurationError("synapse arrays must have equal length")
+        if pre_idx.size and (pre_idx.min() < 0 or pre_idx.max() >= pre.n):
+            raise ConfigurationError("pre index out of range")
+        if post_idx.size and (post_idx.min() < 0 or post_idx.max() >= post.n):
+            raise ConfigurationError("post index out of range")
+        if delays.size and delays.min() < 1:
+            raise ConfigurationError("delays must be at least one time step")
+        if not 0 <= syn_type < post.n_synapse_types:
+            raise ConfigurationError(
+                f"synapse type {syn_type} out of range for {post.name!r}"
+            )
+        self.pre = pre
+        self.post = post
+        self.syn_type = syn_type
+        self.name = name or f"{pre.name}->{post.name}"
+        # Sort by presynaptic neuron and build the CSR row pointer.
+        order = np.argsort(pre_idx, kind="stable")
+        self.post_idx = post_idx[order]
+        self.weights = weights[order]
+        self.delays = delays[order]
+        counts = np.bincount(pre_idx, minlength=pre.n)
+        self.pre_ptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        # Post-sorted (CSC-like) view, built lazily: plasticity rules
+        # need "all synapses into neuron j" for potentiation.
+        self._post_order: Optional[np.ndarray] = None
+        self._post_ptr: Optional[np.ndarray] = None
+        self._pre_of_synapse: Optional[np.ndarray] = None
+
+    @property
+    def n_synapses(self) -> int:
+        """Number of synapses in this projection."""
+        return int(self.post_idx.size)
+
+    @property
+    def max_delay(self) -> int:
+        """Largest delay in time steps (1 when the projection is empty)."""
+        return int(self.delays.max()) if self.delays.size else 1
+
+    def synapses_of(self, fired_pre: np.ndarray):
+        """Gather the synapses of the given fired presynaptic neurons.
+
+        ``fired_pre`` is an array of presynaptic indices. Returns
+        ``(post_idx, weights, delays)`` for every outgoing synapse of
+        every fired neuron.
+        """
+        if fired_pre.size == 0:
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_i, np.empty(0, dtype=np.float64), empty_i
+        starts = self.pre_ptr[fired_pre]
+        ends = self.pre_ptr[fired_pre + 1]
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if total == 0:
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_i, np.empty(0, dtype=np.float64), empty_i
+        # Build a flat index covering [starts[k], ends[k]) for each k.
+        offsets = np.repeat(ends - np.cumsum(lengths), lengths)
+        flat = offsets + np.arange(total)
+        return self.post_idx[flat], self.weights[flat], self.delays[flat]
+
+    @staticmethod
+    def _flat_range_gather(ptr, order, targets):
+        """Flat indices covering ptr-delimited groups of ``targets``."""
+        if targets.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = ptr[targets]
+        lengths = ptr[targets + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        offsets = np.repeat(starts - (np.cumsum(lengths) - lengths), lengths)
+        flat = offsets + np.arange(total)
+        return order[flat] if order is not None else flat
+
+    def pre_of_synapses(self) -> np.ndarray:
+        """Presynaptic neuron of every synapse (CSR row expansion)."""
+        if self._pre_of_synapse is None:
+            counts = np.diff(self.pre_ptr)
+            self._pre_of_synapse = np.repeat(
+                np.arange(self.pre.n, dtype=np.int64), counts
+            )
+        return self._pre_of_synapse
+
+    def synapse_indices_of(self, fired_pre: np.ndarray) -> np.ndarray:
+        """Flat synapse indices leaving the given presynaptic neurons."""
+        return self._flat_range_gather(self.pre_ptr, None, fired_pre)
+
+    def _ensure_post_index(self) -> None:
+        if self._post_ptr is not None:
+            return
+        order = np.argsort(self.post_idx, kind="stable")
+        counts = np.bincount(self.post_idx, minlength=self.post.n)
+        self._post_order = order.astype(np.int64)
+        self._post_ptr = np.concatenate(([0], np.cumsum(counts))).astype(
+            np.int64
+        )
+
+    def synapse_indices_into(self, fired_post: np.ndarray) -> np.ndarray:
+        """Flat synapse indices arriving at the given post neurons."""
+        self._ensure_post_index()
+        return self._flat_range_gather(
+            self._post_ptr, self._post_order, fired_post
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Projection({self.name!r}, synapses={self.n_synapses}, "
+            f"type={self.syn_type})"
+        )
+
+
+def connect(
+    pre: Population,
+    post: Population,
+    probability: float = 1.0,
+    weight: float = 0.1,
+    weight_std: float = 0.0,
+    delay_steps: int = 1,
+    delay_jitter: int = 0,
+    syn_type: int = 0,
+    allow_self: bool = False,
+    rng: Optional[np.random.Generator] = None,
+    name: Optional[str] = None,
+) -> Projection:
+    """Random fixed-probability connectivity (the PyNN workhorse).
+
+    Each (pre, post) pair is connected independently with the given
+    probability; weights are drawn from a normal distribution around
+    ``weight`` (clipped to keep the sign) and delays uniformly from
+    ``delay_steps .. delay_steps + delay_jitter``.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError(f"probability must be in [0, 1], got {probability}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if probability >= 1.0:
+        pre_idx, post_idx = np.meshgrid(
+            np.arange(pre.n), np.arange(post.n), indexing="ij"
+        )
+        pre_idx = pre_idx.ravel()
+        post_idx = post_idx.ravel()
+    elif pre.n * post.n <= 4_000_000:
+        mask = rng.random((pre.n, post.n)) < probability
+        pre_idx, post_idx = np.nonzero(mask)
+    else:
+        # Large pair counts: draw each pre-neuron's out-degree
+        # binomially and sample targets with replacement. Statistically
+        # this allows the occasional duplicate synapse (two synapses
+        # between the same pair), which biological networks also have;
+        # memory stays proportional to the synapse count instead of
+        # the pair count.
+        counts = rng.binomial(post.n, probability, size=pre.n)
+        pre_idx = np.repeat(np.arange(pre.n), counts)
+        post_idx = rng.integers(0, post.n, size=int(counts.sum()))
+    if pre is post and not allow_self:
+        keep = pre_idx != post_idx
+        pre_idx, post_idx = pre_idx[keep], post_idx[keep]
+    n_syn = pre_idx.size
+    if weight_std > 0.0:
+        weights = rng.normal(weight, weight_std, size=n_syn)
+        if weight >= 0:
+            np.clip(weights, 0.0, None, out=weights)
+        else:
+            np.clip(weights, None, 0.0, out=weights)
+    else:
+        weights = np.full(n_syn, weight, dtype=np.float64)
+    if delay_jitter > 0:
+        delays = rng.integers(
+            delay_steps, delay_steps + delay_jitter + 1, size=n_syn
+        )
+    else:
+        delays = np.full(n_syn, delay_steps, dtype=np.int64)
+    return Projection(
+        pre, post, pre_idx, post_idx, weights, delays, syn_type, name=name
+    )

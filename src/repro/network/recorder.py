@@ -1,0 +1,103 @@
+"""Spike and state recording.
+
+:class:`SpikeRecorder` collects (step, neuron) pairs per population —
+the output format the Section VI-A validation compares between the
+reference simulator and the hardware backends. :class:`StateRecorder`
+samples selected state variables over time for plots and tests of
+single-neuron behaviours (e.g. the membrane-decay shapes of Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class SpikeRecord:
+    """All spikes of one population as parallel step/neuron arrays."""
+
+    steps: np.ndarray
+    neurons: np.ndarray
+
+    @property
+    def n_spikes(self) -> int:
+        return int(self.steps.size)
+
+    def spike_pairs(self) -> set:
+        """The spikes as a set of (step, neuron) tuples."""
+        return set(zip(self.steps.tolist(), self.neurons.tolist()))
+
+    def rate_hz(self, n_neurons: int, n_steps: int, dt: float) -> float:
+        """Mean firing rate across the population."""
+        duration = n_steps * dt
+        if duration <= 0 or n_neurons <= 0:
+            return 0.0
+        return self.n_spikes / (n_neurons * duration)
+
+    def spikes_of(self, neuron: int) -> np.ndarray:
+        """Steps at which the given neuron fired."""
+        return self.steps[self.neurons == neuron]
+
+
+class SpikeRecorder:
+    """Accumulates fired masks into per-population spike records."""
+
+    def __init__(self) -> None:
+        self._steps: Dict[str, List[np.ndarray]] = {}
+        self._neurons: Dict[str, List[np.ndarray]] = {}
+
+    def record(self, population: str, step: int, fired: np.ndarray) -> None:
+        """Record the fired mask of one population at one step."""
+        idx = np.nonzero(fired)[0]
+        if idx.size == 0:
+            return
+        self._steps.setdefault(population, []).append(
+            np.full(idx.size, step, dtype=np.int64)
+        )
+        self._neurons.setdefault(population, []).append(idx.astype(np.int64))
+
+    def result(self, population: str) -> SpikeRecord:
+        """The accumulated spikes of one population."""
+        steps = self._steps.get(population, [])
+        neurons = self._neurons.get(population, [])
+        if not steps:
+            empty = np.empty(0, dtype=np.int64)
+            return SpikeRecord(empty, empty.copy())
+        return SpikeRecord(np.concatenate(steps), np.concatenate(neurons))
+
+    def populations(self) -> List[str]:
+        """Names of populations that produced at least one spike."""
+        return sorted(self._steps)
+
+    def total_spikes(self) -> int:
+        """Total spikes across all populations."""
+        return sum(
+            sum(chunk.size for chunk in chunks)
+            for chunks in self._steps.values()
+        )
+
+
+@dataclass
+class StateRecorder:
+    """Samples chosen state variables of chosen neurons every step."""
+
+    population: str
+    variables: Sequence[str]
+    neurons: Sequence[int] = field(default_factory=lambda: [0])
+    traces: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+
+    def sample(self, state: Dict[str, np.ndarray]) -> None:
+        """Append the current values of the tracked variables."""
+        idx = np.asarray(self.neurons, dtype=np.int64)
+        for var in self.variables:
+            self.traces.setdefault(var, []).append(state[var][idx].copy())
+
+    def trace(self, variable: str) -> np.ndarray:
+        """A (steps, len(neurons)) array for one variable."""
+        chunks = self.traces.get(variable, [])
+        if not chunks:
+            return np.empty((0, len(self.neurons)))
+        return np.stack(chunks)

@@ -1,0 +1,199 @@
+"""The three-phase time-step simulation loop (Section II-C).
+
+Each simulated time step runs:
+
+1. **Stimulus generation** — external sources forge spikes and inject
+   them into their target populations' current input slots.
+2. **Neuron computation** — every population's backend consumes its
+   accumulated input, updates internal state, and reports which neurons
+   fired. (This is the phase Flexon accelerates.)
+3. **Synapse calculation** — the fired spikes are classified by target
+   neuron through each projection, and their synaptic weights are
+   accumulated into the input slots ``delay`` steps ahead.
+
+The simulator instruments each phase with wall-clock time and with
+abstract operation counts (neuron updates, synaptic events, stimulus
+events); the Figure 3 / Figure 13 cost models consume the counts, and
+the wall-clock numbers feed the pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.network.backends import Backend, ReferenceBackend
+from repro.network.network import Network
+from repro.network.recorder import SpikeRecorder, StateRecorder
+from repro.network.spike_queue import SpikeQueue
+
+PHASES = ("stimulus", "neuron", "synapse")
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated cost of one phase across a run."""
+
+    seconds: float = 0.0
+    operations: int = 0
+
+    def add(self, seconds: float, operations: int) -> None:
+        self.seconds += seconds
+        self.operations += operations
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced: spikes, per-phase costs, counters."""
+
+    network_name: str
+    backend_name: str
+    n_steps: int
+    dt: float
+    spikes: SpikeRecorder
+    phases: Dict[str, PhaseStats]
+    neuron_updates: int
+    synaptic_events: int
+    stimulus_events: int
+    evaluations_per_step: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stats.seconds for stats in self.phases.values())
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Wall-clock share of each phase (sums to 1 when any time passed)."""
+        total = self.total_seconds
+        if total <= 0.0:
+            return {phase: 0.0 for phase in PHASES}
+        return {
+            phase: stats.seconds / total for phase, stats in self.phases.items()
+        }
+
+    def total_spikes(self) -> int:
+        return self.spikes.total_spikes()
+
+
+class Simulator:
+    """Runs a :class:`~repro.network.network.Network` step by step."""
+
+    def __init__(
+        self,
+        network: Network,
+        backend: Optional[Backend] = None,
+        dt: float = 1e-4,
+        seed: int = 0,
+    ):
+        if dt <= 0:
+            raise SimulationError(f"dt must be positive, got {dt}")
+        self.network = network
+        self.backend = backend if backend is not None else ReferenceBackend()
+        self.dt = dt
+        self.rng = np.random.default_rng(seed)
+        self.backend.prepare(network)
+        depth = network.max_delay()
+        self._queues: Dict[str, SpikeQueue] = {
+            name: SpikeQueue(pop.n, pop.n_synapse_types, depth)
+            for name, pop in network.populations.items()
+        }
+        self._step = 0
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(
+        self,
+        n_steps: int,
+        record_spikes: bool = True,
+        state_recorders: Sequence[StateRecorder] = (),
+    ) -> SimulationResult:
+        """Simulate ``n_steps`` time steps and return the results."""
+        if n_steps < 0:
+            raise SimulationError(f"n_steps must be non-negative, got {n_steps}")
+        recorder = SpikeRecorder()
+        phases = {phase: PhaseStats() for phase in PHASES}
+        neuron_updates = 0
+        synaptic_events = 0
+        stimulus_events = 0
+        pop_names = list(self.network.populations)
+
+        for _ in range(n_steps):
+            # Phase 1: stimulus generation
+            start = time.perf_counter()
+            events = 0
+            for stimulus in self.network.stimuli:
+                idx, weights = stimulus.generate(self._step, self.rng)
+                self._queues[stimulus.target.name].enqueue_now(
+                    idx, weights, stimulus.syn_type
+                )
+                events += idx.size
+            phases["stimulus"].add(time.perf_counter() - start, events)
+            stimulus_events += events
+
+            # Phase 2: neuron computation
+            start = time.perf_counter()
+            fired_by_pop: Dict[str, np.ndarray] = {}
+            for name in pop_names:
+                inputs = self._queues[name].current()
+                fired = self.backend.advance(name, inputs, self.dt)
+                fired_by_pop[name] = np.nonzero(fired)[0]
+                if record_spikes:
+                    recorder.record(name, self._step, fired)
+                neuron_updates += self.network.populations[name].n
+            for state_recorder in state_recorders:
+                state_recorder.sample(
+                    self.backend.state_of(state_recorder.population)
+                )
+            phases["neuron"].add(
+                time.perf_counter() - start, self.network.n_neurons
+            )
+
+            # Phase 3: synapse calculation (spike routing + plasticity)
+            start = time.perf_counter()
+            events = 0
+            for projection in self.network.projections:
+                fired_pre = fired_by_pop.get(projection.pre.name)
+                if fired_pre is None or fired_pre.size == 0:
+                    continue
+                post_idx, weights, delays = projection.synapses_of(fired_pre)
+                self._queues[projection.post.name].enqueue(
+                    post_idx, weights, delays, projection.syn_type
+                )
+                events += post_idx.size
+            for rule in self.network.plasticity_rules:
+                projection = rule.projection
+                rule.step(
+                    fired_by_pop[projection.pre.name],
+                    fired_by_pop[projection.post.name],
+                    self.dt,
+                )
+            phases["synapse"].add(time.perf_counter() - start, events)
+            synaptic_events += events
+
+            for queue in self._queues.values():
+                queue.rotate()
+            self._step += 1
+
+        evaluations = {
+            name: self.backend.evaluations_per_step(name) for name in pop_names
+        }
+        return SimulationResult(
+            network_name=self.network.name,
+            backend_name=self.backend.name,
+            n_steps=n_steps,
+            dt=self.dt,
+            spikes=recorder,
+            phases=phases,
+            neuron_updates=neuron_updates,
+            synaptic_events=synaptic_events,
+            stimulus_events=stimulus_events,
+            evaluations_per_step=evaluations,
+        )
+
+    @property
+    def current_step(self) -> int:
+        """Number of steps simulated so far."""
+        return self._step

@@ -1,0 +1,122 @@
+"""External stimulus generators (the stimulus-generation phase).
+
+"This stage generates the spikes forged by a pattern or a random number
+generator, and injects them to the network to mimic external stimulus"
+(Section II-C). Two generators are provided, matching the paper's two
+configurations: :class:`PoissonStimulus` (random) and
+:class:`PatternStimulus` (pre-defined pattern).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.population import Population
+
+
+class Stimulus(abc.ABC):
+    """A source of externally forged spikes targeting one population."""
+
+    def __init__(self, target: Population, syn_type: int = 0):
+        if not 0 <= syn_type < target.n_synapse_types:
+            raise ConfigurationError(
+                f"synapse type {syn_type} out of range for {target.name!r}"
+            )
+        self.target = target
+        self.syn_type = syn_type
+
+    @abc.abstractmethod
+    def generate(
+        self, step: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Spikes for this step: (target indices, weights)."""
+
+
+class PoissonStimulus(Stimulus):
+    """Independent Poisson spike trains driving a population.
+
+    Each target neuron receives an external Poisson train of the given
+    rate; each generated spike deposits ``weight`` into the neuron's
+    accumulated input for the current step. ``n_sources`` independent
+    trains per neuron model a population of virtual input fibres.
+    """
+
+    def __init__(
+        self,
+        target: Population,
+        rate_hz: float,
+        weight: float,
+        dt: float,
+        syn_type: int = 0,
+        n_sources: int = 1,
+        neuron_slice: Optional[slice] = None,
+    ):
+        super().__init__(target, syn_type)
+        if rate_hz < 0:
+            raise ConfigurationError(f"rate must be non-negative, got {rate_hz}")
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        self.rate_hz = rate_hz
+        self.weight = weight
+        self.dt = dt
+        self.n_sources = n_sources
+        indices = np.arange(target.n)
+        if neuron_slice is not None:
+            indices = indices[neuron_slice]
+        self._indices = indices
+
+    @property
+    def p_spike(self) -> float:
+        """Per-source spike probability in one time step."""
+        return min(1.0, self.rate_hz * self.dt)
+
+    def generate(self, step: int, rng: np.random.Generator):
+        counts = rng.binomial(
+            self.n_sources, self.p_spike, size=self._indices.size
+        )
+        hit = counts > 0
+        return self._indices[hit], self.weight * counts[hit].astype(np.float64)
+
+
+class PatternStimulus(Stimulus):
+    """A pre-defined spike pattern: explicit (step, neuron) events.
+
+    ``events`` maps a time step to a sequence of target neuron indices
+    that receive one input spike of ``weight`` at that step. The
+    pattern repeats with ``period`` when given.
+    """
+
+    def __init__(
+        self,
+        target: Population,
+        events: Dict[int, Sequence[int]],
+        weight: float,
+        syn_type: int = 0,
+        period: Optional[int] = None,
+    ):
+        super().__init__(target, syn_type)
+        if period is not None and period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        self.weight = weight
+        self.period = period
+        self._events = {
+            int(step): np.asarray(idx, dtype=np.int64)
+            for step, idx in events.items()
+        }
+        for step, idx in self._events.items():
+            if idx.size and (idx.min() < 0 or idx.max() >= target.n):
+                raise ConfigurationError(
+                    f"pattern index out of range at step {step}"
+                )
+
+    def generate(self, step: int, rng: np.random.Generator):
+        key = step % self.period if self.period is not None else step
+        idx = self._events.get(key)
+        if idx is None or idx.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=np.float64)
+        return idx, np.full(idx.size, self.weight, dtype=np.float64)

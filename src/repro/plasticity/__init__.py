@@ -1,0 +1,21 @@
+"""Synaptic plasticity (STDP) — an extension the paper motivates.
+
+The paper's introduction cites SNNs learning digit and object
+recognition through spike-timing-dependent plasticity (Diehl & Cook;
+Masquelier & Thorpe), and its related-work section discusses temporal
+neurons whose synaptic weights "are trained based on the relative spike
+timing". Flexon itself accelerates neuron computation and leaves
+synapse calculation on the host — which is exactly where STDP lives —
+so plastic networks run unchanged on the hardware backends: neuron
+updates on (folded) Flexon, weight updates in the synapse-calculation
+phase.
+
+This package provides the classic pair-based STDP rule with
+exponential traces and a small homeostasis helper, integrated with the
+three-phase simulator via :meth:`repro.network.network.Network.
+add_plasticity`.
+"""
+
+from repro.plasticity.stdp import PairSTDP, PlasticityRule
+
+__all__ = ["PairSTDP", "PlasticityRule"]

@@ -1,0 +1,154 @@
+"""Pair-based spike-timing-dependent plasticity.
+
+The classic trace formulation (Morrison, Diesmann & Gerstner 2008):
+each presynaptic neuron keeps a trace ``x`` and each postsynaptic
+neuron a trace ``y``::
+
+    x_i(t) = x_i(t - dt) * exp(-dt / tau_plus)   (+1 when i fires)
+    y_j(t) = y_j(t - dt) * exp(-dt / tau_minus)  (+1 when j fires)
+
+    on a pre spike  i:  w_ij -= a_minus * y_j(t)   (depression: post
+                        fired *before* this pre spike)
+    on a post spike j:  w_ij += a_plus  * x_i(t)   (potentiation: pre
+                        fired *before* this post spike)
+
+Weights are clipped to ``[w_min, w_max]``. Because the rule only ever
+touches the synapses of neurons that fired this step, the cost is
+proportional to spike traffic — the same event-driven structure as the
+synapse-calculation phase it runs in.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.network.projection import Projection
+
+
+class PlasticityRule(abc.ABC):
+    """A weight-update rule bound to one projection by the simulator."""
+
+    def __init__(self) -> None:
+        self.projection: Optional[Projection] = None
+
+    def attach(self, projection: Projection) -> None:
+        """Bind to a projection; allocates per-neuron state."""
+        if self.projection is not None and self.projection is not projection:
+            raise ConfigurationError(
+                "plasticity rule is already attached to "
+                f"{self.projection.name!r}"
+            )
+        self.projection = projection
+
+    @abc.abstractmethod
+    def step(
+        self,
+        fired_pre: np.ndarray,
+        fired_post: np.ndarray,
+        dt: float,
+    ) -> None:
+        """Advance traces one time step and apply weight updates.
+
+        ``fired_pre`` / ``fired_post`` are index arrays of the neurons
+        that fired this step in the pre/post populations.
+        """
+
+
+class PairSTDP(PlasticityRule):
+    """All-to-all pair-based STDP with exponential traces."""
+
+    def __init__(
+        self,
+        a_plus: float = 0.01,
+        a_minus: float = 0.012,
+        tau_plus: float = 20e-3,
+        tau_minus: float = 20e-3,
+        w_min: float = 0.0,
+        w_max: float = 1.0,
+    ):
+        super().__init__()
+        if tau_plus <= 0 or tau_minus <= 0:
+            raise ConfigurationError("STDP time constants must be positive")
+        if w_min > w_max:
+            raise ConfigurationError("w_min must not exceed w_max")
+        self.a_plus = a_plus
+        self.a_minus = a_minus
+        self.tau_plus = tau_plus
+        self.tau_minus = tau_minus
+        self.w_min = w_min
+        self.w_max = w_max
+        self._x_pre: Optional[np.ndarray] = None
+        self._y_post: Optional[np.ndarray] = None
+
+    def attach(self, projection: Projection) -> None:
+        super().attach(projection)
+        self._x_pre = np.zeros(projection.pre.n, dtype=np.float64)
+        self._y_post = np.zeros(projection.post.n, dtype=np.float64)
+
+    @property
+    def pre_trace(self) -> np.ndarray:
+        """The presynaptic traces (read-only view for tests/monitors)."""
+        if self._x_pre is None:
+            raise SimulationError("rule not attached to a projection")
+        return self._x_pre
+
+    @property
+    def post_trace(self) -> np.ndarray:
+        """The postsynaptic traces."""
+        if self._y_post is None:
+            raise SimulationError("rule not attached to a projection")
+        return self._y_post
+
+    def step(
+        self,
+        fired_pre: np.ndarray,
+        fired_post: np.ndarray,
+        dt: float,
+    ) -> None:
+        if self.projection is None or self._x_pre is None:
+            raise SimulationError("rule not attached to a projection")
+        projection = self.projection
+        weights = projection.weights
+
+        # 1. decay the traces
+        self._x_pre *= math.exp(-dt / self.tau_plus)
+        self._y_post *= math.exp(-dt / self.tau_minus)
+
+        # 2. depression: pre spikes read the post traces
+        if fired_pre.size:
+            synapses = projection.synapse_indices_of(fired_pre)
+            if synapses.size:
+                posts = projection.post_idx[synapses]
+                weights[synapses] -= self.a_minus * self._y_post[posts]
+
+        # 3. potentiation: post spikes read the pre traces
+        if fired_post.size:
+            synapses = projection.synapse_indices_into(fired_post)
+            if synapses.size:
+                pres = projection.pre_of_synapses()[synapses]
+                weights[synapses] += self.a_plus * self._x_pre[pres]
+
+        # 4. bump the traces of the neurons that fired *this* step
+        #    (after the updates: simultaneous pre/post pairs at zero
+        #    time difference contribute nothing, the standard choice)
+        if fired_pre.size:
+            self._x_pre[fired_pre] += 1.0
+        if fired_post.size:
+            self._y_post[fired_post] += 1.0
+
+        # 5. keep weights in their hardware-representable range
+        if fired_pre.size or fired_post.size:
+            np.clip(weights, self.w_min, self.w_max, out=weights)
+
+    def mean_weight(self) -> float:
+        """Mean synaptic weight (a learning-progress monitor)."""
+        if self.projection is None:
+            raise SimulationError("rule not attached to a projection")
+        if self.projection.n_synapses == 0:
+            return 0.0
+        return float(self.projection.weights.mean())

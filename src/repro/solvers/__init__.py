@@ -1,0 +1,25 @@
+"""ODE solvers used by the reference SNN simulator.
+
+Table I workloads integrate their neuron dynamics with either the
+forward Euler method (cheap; the method the hardware discretisation
+mirrors) or the adaptive Runge-Kutta-Fehlberg 4(5) method (RKF45;
+expensive, high accuracy). The choice matters for the Figure 3 latency
+breakdown — RKF45 multiplies the neuron-computation cost by its stage
+evaluations — so both are implemented here.
+"""
+
+from repro.solvers.base import Solver
+from repro.solvers.euler import EulerSolver
+from repro.solvers.rkf45 import RKF45Solver, rkf45_integrate
+
+__all__ = ["EulerSolver", "RKF45Solver", "Solver", "rkf45_integrate"]
+
+
+def create_solver(name: str) -> Solver:
+    """Instantiate a solver by its Table I name ('Euler' or 'RKF45')."""
+    lowered = name.lower()
+    if lowered == "euler":
+        return EulerSolver()
+    if lowered == "rkf45":
+        return RKF45Solver()
+    raise ValueError(f"unknown solver {name!r}; use 'Euler' or 'RKF45'")

@@ -1,0 +1,50 @@
+"""Solver interface.
+
+A solver advances one population's state by one simulation time step,
+given the accumulated synaptic input for that step, and reports which
+neurons fired. It also tracks how many derivative evaluations it has
+performed — the CPU/GPU cost models charge neuron computation by
+evaluation count, which is how Euler-vs-RKF45 shows up in Figure 3.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.models.base import NeuronModel, State
+
+
+class Solver(abc.ABC):
+    """Advances neuron dynamics one simulation time step at a time."""
+
+    #: Canonical name as spelled in Table I ("Euler" / "RKF45").
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Total derivative (or step-function) evaluations performed.
+        self.evaluations = 0
+        #: Total advance() calls performed.
+        self.advances = 0
+
+    @abc.abstractmethod
+    def advance(
+        self,
+        model: NeuronModel,
+        state: State,
+        inputs: np.ndarray,
+        dt: float,
+    ) -> np.ndarray:
+        """Advance ``state`` by ``dt`` in place; return the fired mask."""
+
+    def evaluations_per_step(self) -> float:
+        """Average evaluations charged per advance() call so far."""
+        if self.advances == 0:
+            return 1.0
+        return self.evaluations / self.advances
+
+    def reset_counters(self) -> None:
+        """Zero the counters (e.g. between profiling runs)."""
+        self.evaluations = 0
+        self.advances = 0

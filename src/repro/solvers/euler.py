@@ -1,0 +1,32 @@
+"""Forward Euler solver.
+
+One evaluation per step, using the model's paper-exact discrete update
+(:meth:`~repro.models.base.NeuronModel.step`). This is the integration
+scheme the Flexon hardware implements, so reference simulations run
+with Euler are the ground truth for the Section VI-A spike-equivalence
+validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import NeuronModel, State
+from repro.solvers.base import Solver
+
+
+class EulerSolver(Solver):
+    """Single-evaluation forward Euler integration."""
+
+    name = "Euler"
+
+    def advance(
+        self,
+        model: NeuronModel,
+        state: State,
+        inputs: np.ndarray,
+        dt: float,
+    ) -> np.ndarray:
+        self.evaluations += 1
+        self.advances += 1
+        return model.step(state, inputs, dt)

@@ -1,0 +1,145 @@
+"""Runge-Kutta-Fehlberg 4(5) adaptive solver.
+
+Implements the embedded RKF45 pair (Fehlberg 1969, the paper's
+reference [37]) with standard step-size control. Within each simulation
+time step the smooth dynamics are integrated adaptively; input-spike
+jumps and fire/reset events are applied at step boundaries, mirroring
+how NEST treats spiking discontinuities with adaptive solvers.
+
+The per-advance derivative-evaluation count (6 per attempted substep,
+more when steps are rejected) feeds the CPU/GPU cost models: it is the
+mechanism by which RKF45 workloads show larger neuron-computation
+shares in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.models.base import NeuronModel, State
+from repro.solvers.base import Solver
+
+# Fehlberg's classic coefficients.
+_A = (
+    (),
+    (1.0 / 4.0,),
+    (3.0 / 32.0, 9.0 / 32.0),
+    (1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0),
+    (439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0),
+    (-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0),
+)
+#: 5th-order weights (the propagated solution).
+_B5 = (16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0, -9.0 / 50.0, 2.0 / 55.0)
+#: 4th-order weights (for the error estimate).
+_B4 = (25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0)
+
+_SAFETY = 0.9
+_MIN_SCALE = 0.2
+_MAX_SCALE = 5.0
+
+
+def rkf45_integrate(
+    f: Callable[[float, np.ndarray], np.ndarray],
+    y0: np.ndarray,
+    t0: float,
+    t1: float,
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    h0: float = 0.0,
+    max_steps: int = 10_000,
+) -> Tuple[np.ndarray, int]:
+    """Integrate ``dy/dt = f(t, y)`` from ``t0`` to ``t1`` adaptively.
+
+    Returns ``(y(t1), n_evaluations)``. Raises
+    :class:`~repro.errors.SimulationError` if the controller cannot
+    reach ``t1`` within ``max_steps`` attempted substeps.
+    """
+    t = float(t0)
+    y = np.array(y0, dtype=np.float64, copy=True)
+    span = float(t1) - t
+    if span <= 0.0:
+        return y, 0
+    h = h0 if h0 > 0.0 else span
+    evaluations = 0
+    for _ in range(max_steps):
+        if t >= t1:
+            return y, evaluations
+        h = min(h, t1 - t)
+        k = [f(t, y)]
+        for stage in range(1, 6):
+            y_stage = y.copy()
+            for j, a in enumerate(_A[stage]):
+                y_stage += (h * a) * k[j]
+            k.append(f(t + h * sum(_A[stage]), y_stage))
+        evaluations += 6
+        y5 = y.copy()
+        y4 = y.copy()
+        for weight5, weight4, ki in zip(_B5, _B4, k):
+            if weight5:
+                y5 += (h * weight5) * ki
+            if weight4:
+                y4 += (h * weight4) * ki
+        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
+        error = float(np.max(np.abs(y5 - y4) / scale)) if y.size else 0.0
+        if error <= 1.0:
+            t += h
+            y = y5
+            grow = _SAFETY * (error ** -0.2) if error > 0.0 else _MAX_SCALE
+            h *= min(_MAX_SCALE, max(_MIN_SCALE, grow))
+        else:
+            h *= max(_MIN_SCALE, _SAFETY * (error ** -0.2))
+    raise SimulationError(
+        f"RKF45 failed to reach t={t1} within {max_steps} substeps"
+    )
+
+
+class RKF45Solver(Solver):
+    """Adaptive RKF45 integration of a model's smooth dynamics.
+
+    Per simulation step: apply input jumps, integrate the continuous
+    part over ``dt`` adaptively, then run the fire/reset phase.
+    """
+
+    name = "RKF45"
+
+    def __init__(self, rtol: float = 1e-5, atol: float = 1e-8):
+        super().__init__()
+        self.rtol = rtol
+        self.atol = atol
+
+    def advance(
+        self,
+        model: NeuronModel,
+        state: State,
+        inputs: np.ndarray,
+        dt: float,
+    ) -> np.ndarray:
+        model.apply_input_jumps(state, inputs)
+        names = list(state)
+        y0 = np.stack([state[name] for name in names])
+
+        def rhs(_t: float, y: np.ndarray) -> np.ndarray:
+            snapshot: State = {
+                name: y[i] for i, name in enumerate(names)
+            }
+            deriv = model.derivatives(snapshot)
+            return np.stack(
+                [deriv.get(name, np.zeros_like(y[i])) for i, name in enumerate(names)]
+            )
+
+        y1, evaluations = rkf45_integrate(
+            rhs, y0, 0.0, dt, rtol=self.rtol, atol=self.atol, h0=dt
+        )
+        self.evaluations += evaluations
+        self.advances += 1
+        for i, name in enumerate(names):
+            state[name][:] = y1[i]
+        return model.fire_and_reset(state, dt)
+
+    def evaluations_per_step(self) -> float:
+        if self.advances == 0:
+            return 6.0  # one accepted substep minimum
+        return self.evaluations / self.advances

@@ -1,0 +1,92 @@
+"""Shared topology builders for the Table I workloads.
+
+Most of the collected SNNs follow the cortical 80/20
+excitatory/inhibitory recipe with random connectivity and Poisson
+background drive; :func:`build_ei_network` captures that shape. The
+few structured workloads (Potjans-Diesmann's layered microcircuit)
+build their own topology on top of the same primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.base import ModelParameters
+from repro.models.registry import create_model
+from repro.network.network import Network
+from repro.network.stimulus import PoissonStimulus
+from repro.workloads.spec import WorkloadSpec, scaled_probability
+
+#: Default simulation time step (the paper's 0.1 ms).
+DT = 1e-4
+
+
+def build_ei_network(
+    spec: WorkloadSpec,
+    scale: float,
+    seed: int,
+    exc_weight: float,
+    inh_weight: float,
+    stimulus_rate_hz: float,
+    stimulus_weight: float,
+    parameters: Optional[ModelParameters] = None,
+    exc_fraction: float = 0.8,
+    delay_steps: int = 10,
+    delay_jitter: int = 10,
+    n_stimulus_sources: int = 10,
+) -> Network:
+    """A standard 80/20 excitatory/inhibitory random network.
+
+    ``exc_weight``/``inh_weight`` are in the model's input units
+    (currents for CUB models, conductance jumps otherwise);
+    ``inh_weight`` is applied on synapse type 1.
+    """
+    rng = np.random.default_rng(seed)
+    network = Network(spec.name)
+    n_total = spec.scaled_neurons(scale)
+    n_exc = max(10, int(round(n_total * exc_fraction)))
+    n_inh = max(5, n_total - n_exc)
+
+    def make_model():
+        return create_model(spec.model_name, parameters=parameters)
+
+    exc = network.add_population("exc", n_exc, make_model())
+    network.add_population("inh", n_inh, make_model())
+    p = scaled_probability(spec, scale)
+    for pre, post in (("exc", "exc"), ("exc", "inh")):
+        network.connect(
+            pre,
+            post,
+            probability=p,
+            weight=exc_weight,
+            weight_std=exc_weight * 0.1,
+            syn_type=0,
+            delay_steps=delay_steps,
+            delay_jitter=delay_jitter,
+            rng=rng,
+        )
+    for pre, post in (("inh", "exc"), ("inh", "inh")):
+        network.connect(
+            pre,
+            post,
+            probability=p,
+            weight=inh_weight,
+            weight_std=abs(inh_weight) * 0.1,
+            syn_type=1,
+            delay_steps=delay_steps,
+            delay_jitter=delay_jitter,
+            rng=rng,
+        )
+    network.add_stimulus(
+        PoissonStimulus(
+            exc,
+            rate_hz=stimulus_rate_hz,
+            weight=stimulus_weight,
+            dt=DT,
+            syn_type=0,
+            n_sources=n_stimulus_sources,
+        )
+    )
+    return network

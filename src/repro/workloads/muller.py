@@ -1,0 +1,38 @@
+"""Muller et al. [32]: high-conductance-state microcircuits.
+
+Table I row: 1,728 neurons, 762 K synapses, PyNN's
+IF_cond_exp_gsfa_grr (conductance LIF with spike-frequency adaptation
+and relative refractory), RKF45. The model studies cortical neurons in
+the high-conductance regime, driven by sustained synaptic bombardment —
+hence the strong Poisson background here.
+"""
+
+from __future__ import annotations
+
+from repro.network.network import Network
+from repro.workloads.builders import build_ei_network
+from repro.workloads.spec import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="Muller et al.",
+    paper_neurons=1_728,
+    paper_synapses=762_000,
+    model_name="IF_cond_exp_gsfa_grr",
+    solver="RKF45",
+    framework="NEST",
+    description="high-conductance-state cortical microcircuit",
+)
+
+
+def build(scale: float = 1.0, seed: int = 0) -> Network:
+    """Build the Muller et al. network at the given scale."""
+    return build_ei_network(
+        SPEC,
+        scale,
+        seed,
+        exc_weight=0.015,
+        inh_weight=0.12,
+        stimulus_rate_hz=600.0,
+        stimulus_weight=0.02,
+        n_stimulus_sources=25,
+    )

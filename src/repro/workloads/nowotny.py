@@ -1,0 +1,69 @@
+"""Nowotny et al. [33]: insect olfactory one-shot odour recognition.
+
+Table I row: 1,220 neurons, 202 K synapses, Izhikevich model, GeNN
+("GPU" note, forward Euler). The model is the antennal-lobe /
+mushroom-body circuit: a projection-neuron population fans out onto a
+larger Kenyon-cell population with strong lateral inhibition, which we
+capture as an asymmetric two-population network with dense
+feed-forward divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.registry import create_model
+from repro.network.network import Network
+from repro.network.stimulus import PoissonStimulus
+from repro.workloads.builders import DT
+from repro.workloads.spec import WorkloadSpec, scaled_probability
+
+SPEC = WorkloadSpec(
+    name="Nowotny et al.",
+    paper_neurons=1_220,
+    paper_synapses=202_000,
+    model_name="Izhikevich",
+    solver="Euler",
+    framework="GeNN",
+    description="olfactory antennal-lobe / mushroom-body circuit",
+)
+
+
+def build(scale: float = 1.0, seed: int = 0) -> Network:
+    """Build the Nowotny et al. network at the given scale."""
+    rng = np.random.default_rng(seed)
+    network = Network(SPEC.name)
+    n_total = SPEC.scaled_neurons(scale)
+    # ~1:5 projection-neuron : Kenyon-cell split, plus inhibition.
+    n_pn = max(10, n_total // 6)
+    n_kc = max(20, n_total - 2 * n_pn)
+    n_ln = max(5, n_total - n_pn - n_kc)
+    pn = network.add_population("pn", n_pn, create_model(SPEC.model_name))
+    network.add_population("kc", n_kc, create_model(SPEC.model_name))
+    network.add_population("ln", n_ln, create_model(SPEC.model_name))
+    p = scaled_probability(SPEC, scale)
+    # Dense feed-forward divergence PN -> KC carries most synapses.
+    network.connect(
+        "pn", "kc", probability=min(1.0, 4 * p), weight=0.03,
+        syn_type=0, delay_steps=5, delay_jitter=10, rng=rng,
+    )
+    network.connect(
+        "pn", "ln", probability=min(1.0, 2 * p), weight=0.03,
+        syn_type=0, delay_steps=5, delay_jitter=5, rng=rng,
+    )
+    # Lateral inhibition from LNs onto both PN and KC layers.
+    network.connect(
+        "ln", "pn", probability=min(1.0, 2 * p), weight=0.15,
+        syn_type=1, delay_steps=5, delay_jitter=5, rng=rng,
+    )
+    network.connect(
+        "ln", "kc", probability=min(1.0, 2 * p), weight=0.15,
+        syn_type=1, delay_steps=5, delay_jitter=5, rng=rng,
+    )
+    # Odour input drives the projection neurons.
+    network.add_stimulus(
+        PoissonStimulus(
+            pn, rate_hz=500.0, weight=0.05, dt=DT, syn_type=0, n_sources=15
+        )
+    )
+    return network

@@ -1,0 +1,55 @@
+"""Registry of the ten Table I workloads."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import UnknownModelError
+from repro.network.network import Network
+from repro.workloads import brette, brunel, destexhe, izhikevich_net
+from repro.workloads import muller, nowotny, potjans, vogels
+from repro.workloads.spec import WorkloadSpec
+
+Builder = Callable[[float, int], Network]
+
+#: name -> (spec, builder), in Table I order.
+WORKLOADS: Dict[str, Tuple[WorkloadSpec, Builder]] = {
+    "Brette et al.": (brette.SPEC, brette.build),
+    "Brunel": (brunel.SPEC, brunel.build),
+    "Destexhe-LTS": (destexhe.LTS_SPEC, destexhe.build_lts),
+    "Destexhe-UpDown": (destexhe.UPDOWN_SPEC, destexhe.build_updown),
+    "Izhikevich": (izhikevich_net.SPEC, izhikevich_net.build),
+    "Muller et al.": (muller.SPEC, muller.build),
+    "Nowotny et al.": (nowotny.SPEC, nowotny.build),
+    "Potjans-Diesmann": (potjans.SPEC, potjans.build),
+    "Vogels et al.": (vogels.VOGELS_SPEC, vogels.build_vogels),
+    "Vogels-Abbott": (vogels.VOGELS_ABBOTT_SPEC, vogels.build_vogels_abbott),
+}
+
+
+def workload_names() -> List[str]:
+    """Workload names in Table I order."""
+    return list(WORKLOADS)
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """The Table I spec for a workload name."""
+    try:
+        return WORKLOADS[name][0]
+    except KeyError:
+        known = ", ".join(WORKLOADS)
+        raise UnknownModelError(
+            f"unknown workload {name!r}; known: {known}"
+        ) from None
+
+
+def build_workload(name: str, scale: float = 1.0, seed: int = 0) -> Network:
+    """Build one Table I workload at the given scale."""
+    try:
+        _, builder = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(WORKLOADS)
+        raise UnknownModelError(
+            f"unknown workload {name!r}; known: {known}"
+        ) from None
+    return builder(scale, seed)

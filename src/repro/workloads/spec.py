@@ -1,0 +1,71 @@
+"""Workload specifications: the rows of Table I."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table I row: structure, neuron model, solver, framework."""
+
+    name: str
+    paper_neurons: int
+    paper_synapses: int
+    model_name: str
+    solver: str  #: "Euler" or "RKF45" (the Notes column)
+    framework: str  #: "NEST" (CPU) or "GeNN" (the two GPU rows)
+    n_synapse_types: int = 2
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.paper_neurons <= 0 or self.paper_synapses <= 0:
+            raise ConfigurationError("paper counts must be positive")
+        if self.solver not in ("Euler", "RKF45"):
+            raise ConfigurationError(f"unknown solver {self.solver!r}")
+        if self.framework not in ("NEST", "GeNN"):
+            raise ConfigurationError(f"unknown framework {self.framework!r}")
+
+    def scaled_neurons(self, scale: float) -> int:
+        """Neuron count at the given scale (>= 20 to stay meaningful)."""
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        return max(20, int(round(self.paper_neurons * scale)))
+
+    def scaled_synapses(self, scale: float) -> int:
+        """Synapse count at the given scale.
+
+        Synapses scale with the *square* of the neuron scale so the
+        connection probability — and hence per-neuron input statistics
+        and firing rates — stays constant across scales.
+        """
+        n_ratio = self.scaled_neurons(scale) / self.paper_neurons
+        return max(10, int(round(self.paper_synapses * n_ratio * n_ratio)))
+
+    def connection_probability(self) -> float:
+        """Mean pairwise connection probability implied by the row."""
+        return min(1.0, self.paper_synapses / self.paper_neurons**2)
+
+    def fan_in(self) -> float:
+        """Average synapses per neuron."""
+        return self.paper_synapses / self.paper_neurons
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: {self.paper_neurons} neurons, "
+            f"{self.paper_synapses} synapses, {self.model_name} "
+            f"({self.solver}, {self.framework})"
+        )
+
+
+def scaled_probability(spec: WorkloadSpec, scale: float) -> float:
+    """Connection probability to use at a given scale.
+
+    Keeping p constant preserves per-neuron fan-in *fraction*; for very
+    small scales the probability is floored so networks stay connected.
+    """
+    p = spec.connection_probability()
+    return min(1.0, max(p, 2.0 / math.sqrt(spec.scaled_neurons(scale))))

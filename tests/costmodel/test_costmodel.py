@@ -1,0 +1,215 @@
+"""Tests for the 45 nm cost models: synthesis, SRAM, CPU/GPU, energy.
+
+The calibration tests pin the composed designs to *bands* around the
+paper's numbers (Figure 12, Table VI) rather than exact values — the
+model must keep reproducing the paper's shape if constants are re-tuned.
+"""
+
+import pytest
+
+from repro.costmodel import (
+    CPU_SPEC,
+    GPU_SPEC,
+    SramConfig,
+    datapath_inventories,
+    energy_joules,
+    flexon_array_cost,
+    flexon_inventory,
+    folded_array_cost,
+    folded_inventory,
+    improvement,
+    phase_latencies,
+    sram_cost,
+    synthesize,
+    synthesize_datapaths,
+    synthesize_flexon_neuron,
+    synthesize_folded_neuron,
+)
+from repro.costmodel.cpu_gpu import neuron_phase_latency, weighted_ops
+from repro.costmodel.energy import geomean
+from repro.errors import ConfigurationError
+
+
+class TestInventories:
+    def test_ten_datapath_inventories(self):
+        assert len(datapath_inventories()) == 10
+
+    def test_flexon_replicates_conductance_paths_per_type(self):
+        two = flexon_inventory(n_synapse_types=2)
+        three = flexon_inventory(n_synapse_types=3)
+        assert three["mul"] > two["mul"]
+
+    def test_folded_has_single_multiplier_and_exp(self):
+        inventory = folded_inventory()
+        assert inventory["mul"] == 1
+        assert inventory["exp"] == 1
+
+    def test_flexon_has_many_redundant_multipliers(self):
+        # The premise of Section V: the baseline design is full of
+        # redundant arithmetic units.
+        assert flexon_inventory()["mul"] >= 10
+
+
+class TestSynthesis:
+    def test_flexon_neuron_near_paper_area(self):
+        # Paper: 1.188 mm^2 / 12 neurons ~ 99,000 um^2.
+        cost = synthesize_flexon_neuron()
+        assert 80_000 <= cost.area_um2 <= 120_000
+
+    def test_folded_neuron_near_paper_area(self):
+        # Paper: 1.294 mm^2 / 72 neurons ~ 17,970 um^2.
+        cost = synthesize_folded_neuron()
+        assert 14_000 <= cost.area_um2 <= 22_000
+
+    def test_area_ratio_in_paper_band(self):
+        # "Flexon ... requires up to 5.84x larger chip area"; the
+        # array sizing uses 5.43x.
+        ratio = (
+            synthesize_flexon_neuron().area_um2
+            / synthesize_folded_neuron().area_um2
+        )
+        assert 5.0 <= ratio <= 6.2
+
+    def test_power_ratio_in_paper_band(self):
+        # "consumes up to 3.44x more power".
+        ratio = (
+            synthesize_flexon_neuron().power_w
+            / synthesize_folded_neuron().power_w
+        )
+        assert 1.5 <= ratio <= 3.44
+
+    def test_ar_is_cheapest_datapath(self):
+        costs = synthesize_datapaths()
+        assert min(costs, key=lambda k: costs[k].area_um2) == "AR"
+
+    def test_exi_and_rr_are_priciest_datapaths(self):
+        costs = synthesize_datapaths()
+        ordered = sorted(costs, key=lambda k: costs[k].area_um2)
+        assert set(ordered[-2:]) == {"EXI", "RR"}
+
+    def test_folded_cheaper_than_exi_and_rr_paths(self):
+        # Figure 12: folding removes redundancy even within one path.
+        costs = synthesize_datapaths()
+        folded = synthesize_folded_neuron()
+        assert folded.area_um2 < costs["EXI"].area_um2
+        assert folded.area_um2 < costs["RR"].area_um2
+
+    def test_every_datapath_cheaper_than_flexon(self):
+        flexon = synthesize_flexon_neuron()
+        for cost in synthesize_datapaths().values():
+            assert cost.area_um2 < flexon.area_um2
+            assert cost.power_w < flexon.power_w
+
+    def test_synthesize_composes_linearly(self):
+        single = synthesize("x", {"mul": 1}, 1e9)
+        double = synthesize("x", {"mul": 2}, 1e9)
+        assert double.area_um2 == pytest.approx(2 * single.area_um2)
+
+
+class TestSram:
+    def test_area_scales_with_capacity(self):
+        small = sram_cost(SramConfig("s", 1_000_000, 4, 1e9))[0]
+        large = sram_cost(SramConfig("l", 4_000_000, 4, 1e9))[0]
+        assert 3.0 < large / small < 4.0
+
+    def test_power_scales_with_bandwidth(self):
+        slow = sram_cost(SramConfig("s", 1_000_000, 4, 1e9))[1]
+        fast = sram_cost(SramConfig("f", 1_000_000, 4, 4e9))[1]
+        assert fast > slow
+
+    def test_banking_costs_area(self):
+        few = sram_cost(SramConfig("s", 1_000_000, 2, 1e9))[0]
+        many = sram_cost(SramConfig("s", 1_000_000, 32, 1e9))[0]
+        assert many > few
+
+    def test_rejects_bad_configs(self):
+        with pytest.raises(ConfigurationError):
+            SramConfig("bad", 0, 1, 1e9)
+        with pytest.raises(ConfigurationError):
+            SramConfig("bad", 100, 0, 1e9)
+        with pytest.raises(ConfigurationError):
+            SramConfig("bad", 100, 1, -1.0)
+
+
+class TestTable6Arrays:
+    def test_flexon_array_total_near_paper(self):
+        cost = flexon_array_cost()
+        assert cost.total_area_mm2 == pytest.approx(9.258, rel=0.15)
+        assert cost.total_power_w == pytest.approx(0.881, rel=0.25)
+
+    def test_folded_array_total_near_paper(self):
+        cost = folded_array_cost()
+        assert cost.total_area_mm2 == pytest.approx(7.618, rel=0.15)
+        assert cost.total_power_w == pytest.approx(1.484, rel=0.25)
+
+    def test_folded_array_fits_in_smaller_footprint(self):
+        assert (
+            folded_array_cost().total_area_mm2
+            < flexon_array_cost().total_area_mm2
+        )
+
+    def test_sram_dominates_both_arrays(self):
+        for cost in (flexon_array_cost(), folded_array_cost()):
+            assert cost.sram_area_mm2 > cost.neuron_area_mm2
+
+    def test_folded_array_burns_more_power(self):
+        assert (
+            folded_array_cost().total_power_w
+            > flexon_array_cost().total_power_w
+        )
+
+
+class TestCpuGpuModel:
+    OPS = {"mul": 10, "add": 12, "exp": 1, "cmp": 2}
+
+    def test_weighted_ops_counts_exp_heavier(self):
+        assert weighted_ops(self.OPS) > 24
+
+    def test_neuron_latency_scales_with_evaluations(self):
+        euler = neuron_phase_latency(CPU_SPEC, 10_000, self.OPS, 1.0)
+        rkf = neuron_phase_latency(CPU_SPEC, 10_000, self.OPS, 12.0)
+        assert rkf > 5 * euler
+
+    def test_gpu_dominated_by_overhead_for_small_networks(self):
+        small = neuron_phase_latency(GPU_SPEC, 100, self.OPS, 1.0)
+        assert small == pytest.approx(
+            GPU_SPEC.per_phase_overhead_s, rel=0.25
+        )
+
+    def test_gpu_faster_than_cpu_for_big_euler_networks(self):
+        cpu = neuron_phase_latency(CPU_SPEC, 10_000, self.OPS, 1.0)
+        gpu = neuron_phase_latency(GPU_SPEC, 10_000, self.OPS, 1.0)
+        assert gpu < cpu
+
+    def test_phase_latencies_fractions_sum_to_one(self):
+        latency = phase_latencies(CPU_SPEC, 1000, self.OPS, 1.0, 5e4, 1e3)
+        assert sum(latency.fractions().values()) == pytest.approx(1.0)
+
+    def test_rejects_negative_neurons(self):
+        with pytest.raises(ConfigurationError):
+            neuron_phase_latency(CPU_SPEC, -1, self.OPS, 1.0)
+
+
+class TestEnergy:
+    def test_energy_joules(self):
+        assert energy_joules(85.0, 1e-3) == pytest.approx(0.085)
+
+    def test_improvement(self):
+        assert improvement(100.0, 2.0) == 50.0
+
+    def test_improvement_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            improvement(1.0, 0.0)
+
+    def test_geomean(self):
+        assert geomean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_geomean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geomean([])
+        with pytest.raises(ConfigurationError):
+            geomean([1.0, -1.0])
+
+    def test_energy_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            energy_joules(-1.0, 1.0)

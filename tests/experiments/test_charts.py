@@ -1,0 +1,138 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.charts import bar_chart, stacked_fraction_chart
+
+
+class TestBarChart:
+    def test_renders_one_line_per_entry(self):
+        text = bar_chart({"a": 1.0, "b": 2.0})
+        assert len(text.splitlines()) == 2
+
+    def test_largest_value_gets_longest_bar(self):
+        lines = bar_chart({"small": 1.0, "big": 10.0}).splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_log_scale_compresses_magnitudes(self):
+        linear = bar_chart({"a": 10.0, "b": 10_000.0}).splitlines()
+        log = bar_chart({"a": 10.0, "b": 10_000.0}, log_scale=True).splitlines()
+        linear_ratio = linear[1].count("#") / max(1, linear[0].count("#"))
+        log_ratio = log[1].count("#") / max(1, log[0].count("#"))
+        assert log_ratio < linear_ratio
+
+    def test_unit_suffix_rendered(self):
+        assert "5x" in bar_chart({"a": 5.0}, unit="x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": 0.0}, log_scale=True)
+
+    def test_every_bar_at_least_one_cell(self):
+        lines = bar_chart({"tiny": 1e-9, "huge": 1.0}).splitlines()
+        assert all("#" in line for line in lines)
+
+
+class TestStackedChart:
+    ROWS = [
+        {"label": "w1", "a": 0.2, "b": 0.8, "c": 0.0},
+        {"label": "w2", "a": 1.0, "b": 1.0, "c": 2.0},
+    ]
+
+    def test_bars_have_exact_width(self):
+        text = stacked_fraction_chart(
+            self.ROWS, parts=("a", "b", "c"), symbols=(".", "#", "="),
+            width=40,
+        )
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+
+    def test_legend_present(self):
+        text = stacked_fraction_chart(
+            self.ROWS, parts=("a", "b", "c"), symbols=(".", "#", "=")
+        )
+        assert text.splitlines()[0].startswith("legend:")
+
+    def test_dominant_part_dominates_bar(self):
+        text = stacked_fraction_chart(
+            [{"label": "x", "a": 0.9, "b": 0.1}],
+            parts=("a", "b"),
+            symbols=("#", "."),
+            width=50,
+        )
+        bar = text.splitlines()[1].split("|")[1]
+        assert bar.count("#") > 40
+
+    def test_symbol_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stacked_fraction_chart(self.ROWS, parts=("a",), symbols=("#", "."))
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stacked_fraction_chart([], parts=("a",), symbols=("#",))
+
+    def test_zero_total_renders_blank_bar(self):
+        text = stacked_fraction_chart(
+            [{"label": "silent", "a": 0.0, "b": 0.0}],
+            parts=("a", "b"),
+            symbols=("#", "."),
+            width=10,
+        )
+        assert "|          |" in text
+
+
+class TestLinePlot:
+    def test_renders_height_rows_plus_legend(self):
+        from repro.experiments.charts import line_plot
+
+        text = line_plot({"a": [0, 1, 2, 3]}, height=8, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 9  # 8 rows + legend
+        assert lines[-1].startswith("legend:")
+
+    def test_monotone_series_descends_visually(self):
+        from repro.experiments.charts import line_plot
+
+        text = line_plot({"down": [3, 2, 1, 0]}, height=4, width=4)
+        rows = text.splitlines()[:-1]
+        # First column marker in the top row, last column in the bottom.
+        assert "*" in rows[0]
+        assert "*" in rows[-1]
+
+    def test_axis_labels_show_extremes(self):
+        from repro.experiments.charts import line_plot
+
+        text = line_plot({"a": [-1.5, 2.5]}, height=5, width=10)
+        assert "2.5" in text
+        assert "-1.5" in text
+
+    def test_multiple_series_use_distinct_markers(self):
+        from repro.experiments.charts import line_plot
+
+        text = line_plot(
+            {"a": [0, 1], "b": [1, 0]}, height=5, width=10
+        )
+        assert "*" in text and "o" in text
+
+    def test_empty_inputs_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+        from repro.experiments.charts import line_plot
+
+        with _pytest.raises(ConfigurationError):
+            line_plot({})
+        with _pytest.raises(ConfigurationError):
+            line_plot({"a": []})
+
+    def test_constant_series_does_not_crash(self):
+        from repro.experiments.charts import line_plot
+
+        text = line_plot({"flat": [1.0, 1.0, 1.0]}, height=4, width=12)
+        assert "flat" in text

@@ -1,0 +1,236 @@
+"""Tests of the experiment harnesses and their paper-shape claims.
+
+These tests run every table/figure harness at reduced scale and assert
+the *shapes* the paper reports (DESIGN.md Section 5), not absolute
+numbers.
+"""
+
+import pytest
+
+from repro.experiments import figure3, figure12, figure13, table3, table5, table6
+from repro.experiments import validation
+from repro.experiments.common import format_table, profile_workload
+from repro.workloads import workload_names
+
+#: A representative subset keeps CI fast; the benchmarks run all ten.
+FAST_WORKLOADS = ["Brunel", "Destexhe-LTS", "Izhikevich", "Vogels-Abbott"]
+
+
+class TestCommon:
+    def test_profile_measures_positive_rates(self):
+        profile = profile_workload("Brunel", scale=0.02, steps=150)
+        assert profile.firing_rate_hz > 0
+        assert profile.stimulus_event_rate > 0
+        assert profile.evaluations_per_step == 1.0  # Euler
+
+    def test_profile_rkf45_evaluations(self):
+        profile = profile_workload("Vogels-Abbott", scale=0.02, steps=60)
+        assert profile.evaluations_per_step >= 6.0
+
+    def test_full_scale_events_use_paper_counts(self):
+        profile = profile_workload("Brunel", scale=0.02, steps=100)
+        events = profile.full_scale_events()
+        assert events["neurons"] == 5_000
+
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yy", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) == 1
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure3.run(scale=0.02, steps=120, names=FAST_WORKLOADS)
+
+    def test_two_platforms_per_workload(self, rows):
+        assert len(rows) == 2 * len(FAST_WORKLOADS)
+
+    def test_rkf45_cpu_rows_are_neuron_dominated(self, rows):
+        for row in rows:
+            if row.platform == "CPU" and row.workload in (
+                "Destexhe-LTS", "Vogels-Abbott",
+            ):
+                assert row.neuron_fraction > 0.5, row.workload
+
+    def test_euler_reduces_neuron_share(self, rows):
+        by_key = {(r.workload, r.platform): r for r in rows}
+        euler = by_key[("Brunel", "CPU")].neuron_fraction
+        rkf = by_key[("Vogels-Abbott", "CPU")].neuron_fraction
+        assert euler < rkf
+
+    def test_gpu_neuron_share_still_material(self, rows):
+        # "neuron computation still contributes to the latency by up
+        # to 32.2%" — material but not dominant.
+        for row in rows:
+            if row.platform == "GPU":
+                assert 0.10 <= row.neuron_fraction <= 0.60, row.workload
+
+    def test_formatting_includes_all_workloads(self, rows):
+        text = figure3.format_figure3(rows)
+        for name in FAST_WORKLOADS:
+            assert name in text
+
+    def test_table1_inventory_lists_all_ten(self):
+        text = figure3.table1_inventory()
+        for name in workload_names():
+            assert name.split()[0] in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table3.run(steps=300, n=16)
+
+    def test_all_twelve_models_verified(self, rows):
+        assert len(rows) == 12
+
+    def test_every_model_bit_exact_between_designs(self, rows):
+        assert all(row.bit_exact for row in rows)
+
+    def test_every_model_matches_reference(self, rows):
+        for row in rows:
+            assert row.spike_match >= 0.97, row.model
+
+    def test_matrix_rendering(self):
+        text = table3.format_matrix()
+        assert "AdEx" in text and "EXD" in text
+
+    def test_verification_rendering(self, rows):
+        text = table3.format_verification(rows)
+        assert "Flexon==Folded" in text
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table5.run()
+
+    def test_lif_single_signal(self, rows):
+        by_label = {row.label: row for row in rows}
+        assert by_label["CUB + EXD (LIF)"].n_signals == 1
+
+    def test_qdi_two_extra_signals_three_cycles(self, rows):
+        by_label = {row.label: row for row in rows}
+        # QDI itself: 2 signals -> 3 cycles through the 2-stage pipe.
+        qdi = by_label["QDI + EXD"]
+        assert qdi.n_signals == 4  # EXD + COBE + 2 QDI ops
+        lif = by_label["CUB + EXD (LIF)"]
+        assert lif.single_neuron_cycles == 2
+
+    def test_signals_per_model_ordering(self):
+        counts = table5.signals_per_model()
+        # More features -> longer programs, AdEx_COBA the longest.
+        assert counts["LIF"] < counts["DLIF"] < counts["AdEx"]
+        assert max(counts.values()) == counts["AdEx_COBA"]
+
+    def test_listing_contains_fields(self, rows):
+        text = table5.format_table5(rows)
+        assert "v_acc" in text
+        assert "Control signals" in text
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure12.run()
+
+    def test_ten_datapaths(self, result):
+        assert len(result.datapaths) == 10
+
+    def test_area_ratio_in_paper_band(self, result):
+        assert 5.0 <= result.area_ratio <= 6.2
+
+    def test_power_ratio_below_paper_max(self, result):
+        assert result.power_ratio <= 3.44
+
+    def test_rendering_includes_ratios(self, result):
+        text = figure12.format_figure12(result)
+        assert "5.84x" in text
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table6.run()
+
+    def test_totals_near_paper(self, result):
+        assert result.flexon.total_area_mm2 == pytest.approx(9.258, rel=0.15)
+        assert result.folded.total_area_mm2 == pytest.approx(7.618, rel=0.15)
+
+    def test_rendering_shows_paper_columns(self, result):
+        text = table6.format_table6(result)
+        assert "9.258" in text and "7.618" in text
+
+
+class TestFigure13:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure13.run(scale=0.02, steps=120, names=FAST_WORKLOADS)
+
+    def test_arrays_beat_cpu_everywhere(self, rows):
+        for row in rows:
+            speedups = row.speedups()
+            assert speedups["flexon_vs_cpu"] > 5.0, row.workload
+            assert speedups["folded_vs_cpu"] > 5.0, row.workload
+
+    def test_arrays_beat_gpu_everywhere(self, rows):
+        for row in rows:
+            speedups = row.speedups()
+            assert speedups["flexon_vs_gpu"] > 1.0, row.workload
+
+    def test_destexhe_is_where_baseline_flexon_wins(self, rows):
+        for row in rows:
+            speedups = row.speedups()
+            folded_wins = (
+                speedups["folded_vs_cpu"] > speedups["flexon_vs_cpu"]
+            )
+            if row.workload.startswith("Destexhe"):
+                assert not folded_wins, row.workload
+            elif row.workload in ("Brunel", "Izhikevich", "Vogels-Abbott"):
+                assert folded_wins, row.workload
+
+    def test_baseline_flexon_wins_energy_efficiency(self, rows):
+        # Section VI-C: "the Flexon array tends to achieve higher
+        # energy efficiency throughout the SNNs."
+        wins = sum(
+            1
+            for row in rows
+            if row.efficiency_gains()["flexon_vs_cpu"]
+            > row.efficiency_gains()["folded_vs_cpu"]
+        )
+        assert wins >= len(rows) - 1
+
+    def test_geomeans_within_order_of_paper(self, rows):
+        speed = figure13.geomean_speedups(rows)
+        assert 20 <= speed["flexon_vs_cpu"] <= 400
+        assert 1.5 <= speed["flexon_vs_gpu"] <= 40
+        efficiency = figure13.geomean_efficiency(rows)
+        assert 1_000 <= efficiency["flexon_vs_cpu"] <= 40_000
+
+    def test_rendering(self, rows):
+        text = figure13.format_figure13(rows)
+        assert "geomean latency" in text
+        assert "paper 87.4x" in text
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return validation.run(scale=0.03, steps=250, names=FAST_WORKLOADS)
+
+    def test_designs_identical_on_every_workload(self, rows):
+        assert all(row.designs_identical for row in rows)
+
+    def test_spike_counts_agree(self, rows):
+        for row in rows:
+            assert row.count_agreement >= 0.9, row.workload
+
+    def test_early_overlap_high(self, rows):
+        for row in rows:
+            assert row.early_overlap >= 0.7, row.workload
+
+    def test_rendering(self, rows):
+        text = validation.format_validation(rows)
+        assert "Flexon==Folded" in text

@@ -1,0 +1,71 @@
+"""Tests of the Schraudolph fast exponential."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FLEXON_FORMAT, fast_exp, fx_exp, fx_from_float, fx_to_float
+from repro.fixedpoint.fastexp import max_relative_error
+
+
+class TestFastExp:
+    def test_exp_zero_close_to_one(self):
+        assert fast_exp(0.0) == pytest.approx(1.0, rel=0.05)
+
+    def test_exp_one_close_to_e(self):
+        assert fast_exp(1.0) == pytest.approx(np.e, rel=0.05)
+
+    def test_relative_error_within_schraudolph_bound(self):
+        # Schraudolph's published worst case is ~4% with the staircase
+        # mantissa; allow a small margin.
+        assert max_relative_error(-5.0, 5.0) < 0.05
+
+    def test_monotone_on_grid(self):
+        ys = np.linspace(-10, 10, 2001)
+        out = fast_exp(ys)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_always_positive(self):
+        ys = np.linspace(-100, 100, 401)
+        assert np.all(fast_exp(ys) > 0)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(fast_exp(0.5), float)
+
+    def test_array_shape_preserved(self):
+        ys = np.zeros((3, 4))
+        assert fast_exp(ys).shape == (3, 4)
+
+    def test_extreme_inputs_do_not_overflow(self):
+        assert np.isfinite(fast_exp(1e6))
+        assert np.isfinite(fast_exp(-1e6))
+        assert fast_exp(-1e6) >= 0.0
+
+
+class TestFxExp:
+    def test_matches_float_path_within_quantisation(self):
+        fmt = FLEXON_FORMAT
+        for value in (-3.0, -1.0, 0.0, 0.5, 2.0):
+            raw = fx_from_float(value, fmt)
+            out = fx_to_float(fx_exp(raw, fmt), fmt)
+            assert out == pytest.approx(
+                fast_exp(value), rel=1e-6, abs=2 * fmt.resolution
+            )
+
+    def test_saturates_at_format_max(self):
+        fmt = FLEXON_FORMAT
+        raw = fx_from_float(100.0, fmt)
+        assert fx_exp(raw, fmt) == fmt.raw_max
+
+    def test_large_negative_underflows_to_zero(self):
+        fmt = FLEXON_FORMAT
+        raw = fx_from_float(-30.0, fmt)
+        assert fx_to_float(fx_exp(raw, fmt), fmt) == pytest.approx(
+            0.0, abs=2 * fmt.resolution
+        )
+
+    def test_vectorised(self):
+        fmt = FLEXON_FORMAT
+        raw = fx_from_float(np.array([-1.0, 0.0, 1.0]), fmt)
+        out = fx_exp(raw, fmt)
+        assert out.shape == (3,)
+        assert out[0] < out[1] < out[2]

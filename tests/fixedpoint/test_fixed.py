@@ -1,0 +1,213 @@
+"""Unit tests for the Q-format fixed-point substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FixedPointFormatError, FixedPointOverflowError
+from repro.fixedpoint import (
+    FLEXON_FORMAT,
+    MEMBRANE_FORMAT,
+    Fixed,
+    FixedFormat,
+    fx_add,
+    fx_from_float,
+    fx_mul,
+    fx_neg,
+    fx_sub,
+    fx_to_float,
+)
+
+
+class TestFixedFormat:
+    def test_flexon_format_is_32_bit_with_22_fraction_bits(self):
+        assert FLEXON_FORMAT.total_bits == 32
+        assert FLEXON_FORMAT.frac_bits == 22
+        assert FLEXON_FORMAT.int_bits == 10
+
+    def test_membrane_format_saves_bits(self):
+        # The truncate optimisation: membrane storage is narrower.
+        assert MEMBRANE_FORMAT.total_bits < FLEXON_FORMAT.total_bits
+        assert MEMBRANE_FORMAT.frac_bits == FLEXON_FORMAT.frac_bits
+
+    def test_scale(self):
+        assert FixedFormat(16, 8).scale == 256
+
+    def test_signed_range(self):
+        fmt = FixedFormat(8, 4)
+        assert fmt.raw_min == -128
+        assert fmt.raw_max == 127
+        assert fmt.min_value == -8.0
+        assert fmt.max_value == pytest.approx(7.9375)
+
+    def test_unsigned_range(self):
+        fmt = FixedFormat(8, 4, signed=False)
+        assert fmt.raw_min == 0
+        assert fmt.raw_max == 255
+
+    def test_resolution(self):
+        assert FixedFormat(16, 10).resolution == pytest.approx(1 / 1024)
+
+    def test_describe(self):
+        assert FixedFormat(32, 22).describe() == "Q9.22"
+        assert FixedFormat(8, 8, signed=False).describe() == "UQ0.8"
+
+    def test_rejects_bad_total_bits(self):
+        with pytest.raises(FixedPointFormatError):
+            FixedFormat(0, 0)
+        with pytest.raises(FixedPointFormatError):
+            FixedFormat(64, 10)
+
+    def test_rejects_bad_frac_bits(self):
+        with pytest.raises(FixedPointFormatError):
+            FixedFormat(16, 17)
+        with pytest.raises(FixedPointFormatError):
+            FixedFormat(16, -1)
+
+
+class TestConversion:
+    def test_round_trip_exact_values(self):
+        for value in (0.0, 0.5, -0.25, 1.0, -1.0, 3.75):
+            raw = fx_from_float(value, FLEXON_FORMAT)
+            assert fx_to_float(raw, FLEXON_FORMAT) == value
+
+    def test_quantisation_error_bounded_by_half_lsb(self):
+        fmt = FLEXON_FORMAT
+        values = np.linspace(-5, 5, 1001)
+        raw = fx_from_float(values, fmt)
+        back = fx_to_float(raw, fmt)
+        assert np.max(np.abs(back - values)) <= fmt.resolution / 2 + 1e-12
+
+    def test_rounds_to_nearest(self):
+        fmt = FixedFormat(16, 4)  # resolution 1/16
+        assert fx_from_float(0.06, fmt) == 1  # 0.96 LSB -> rounds to 1
+        assert fx_from_float(0.03, fmt) == 0  # 0.48 LSB -> rounds to 0
+
+    def test_negative_rounding_symmetry(self):
+        fmt = FixedFormat(16, 4)
+        assert fx_from_float(-0.06, fmt) == -1
+        assert fx_from_float(-0.03, fmt) == 0
+
+    def test_saturates_at_bounds(self):
+        fmt = FixedFormat(8, 4)
+        assert fx_from_float(100.0, fmt) == fmt.raw_max
+        assert fx_from_float(-100.0, fmt) == fmt.raw_min
+
+    def test_strict_mode_raises_on_overflow(self):
+        fmt = FixedFormat(8, 4)
+        with pytest.raises(FixedPointOverflowError):
+            fx_from_float(100.0, fmt, strict=True)
+
+    def test_array_conversion(self):
+        values = np.array([0.5, -0.5, 2.0])
+        raw = fx_from_float(values, FLEXON_FORMAT)
+        assert isinstance(raw, np.ndarray)
+        np.testing.assert_allclose(fx_to_float(raw, FLEXON_FORMAT), values)
+
+
+class TestArithmetic:
+    def test_add(self):
+        fmt = FLEXON_FORMAT
+        a = fx_from_float(1.5, fmt)
+        b = fx_from_float(2.25, fmt)
+        assert fx_to_float(fx_add(a, b, fmt), fmt) == 3.75
+
+    def test_sub(self):
+        fmt = FLEXON_FORMAT
+        a = fx_from_float(1.0, fmt)
+        b = fx_from_float(2.5, fmt)
+        assert fx_to_float(fx_sub(a, b, fmt), fmt) == -1.5
+
+    def test_neg(self):
+        fmt = FLEXON_FORMAT
+        a = fx_from_float(0.75, fmt)
+        assert fx_to_float(fx_neg(a, fmt), fmt) == -0.75
+
+    def test_mul_exact_powers_of_two(self):
+        fmt = FLEXON_FORMAT
+        a = fx_from_float(0.5, fmt)
+        b = fx_from_float(0.25, fmt)
+        assert fx_to_float(fx_mul(a, b, fmt), fmt) == 0.125
+
+    def test_mul_truncates_toward_negative_infinity(self):
+        fmt = FixedFormat(16, 4)
+        # 0.0625 * 0.0625 = 0.00390625, below one LSB (0.0625)
+        a = fx_from_float(0.0625, fmt)
+        assert fx_mul(a, a, fmt) == 0
+        # Negative products truncate downward (arithmetic shift).
+        b = fx_from_float(-0.0625, fmt)
+        assert fx_mul(a, b, fmt) == -1  # -0.0039 -> -1 raw (-0.0625)
+
+    def test_mul_by_one_is_identity(self):
+        fmt = FLEXON_FORMAT
+        one = fx_from_float(1.0, fmt)
+        for value in (0.3, -2.7, 100.0):
+            raw = fx_from_float(value, fmt)
+            assert fx_mul(raw, one, fmt) == raw
+
+    def test_add_saturates(self):
+        fmt = FixedFormat(8, 4)
+        assert fx_add(fmt.raw_max, 1, fmt) == fmt.raw_max
+        assert fx_sub(fmt.raw_min, 1, fmt) == fmt.raw_min
+
+    def test_add_strict_raises(self):
+        fmt = FixedFormat(8, 4)
+        with pytest.raises(FixedPointOverflowError):
+            fx_add(fmt.raw_max, 1, fmt, strict=True)
+
+    def test_array_ops_match_scalar_ops(self):
+        fmt = FLEXON_FORMAT
+        values_a = np.array([0.3, -1.2, 5.0])
+        values_b = np.array([0.7, 0.4, -2.0])
+        raw_a = fx_from_float(values_a, fmt)
+        raw_b = fx_from_float(values_b, fmt)
+        vec = fx_mul(raw_a, raw_b, fmt)
+        for i in range(3):
+            assert vec[i] == fx_mul(int(raw_a[i]), int(raw_b[i]), fmt)
+
+    def test_array_saturation_clips(self):
+        fmt = FixedFormat(8, 4)
+        raw = np.array([fmt.raw_max, fmt.raw_min], dtype=np.int64)
+        out = fx_add(raw, np.array([10, -10]), fmt)
+        assert out[0] == fmt.raw_max
+        assert out[1] == fmt.raw_min
+
+
+class TestFixedScalar:
+    def test_construction_and_value(self):
+        x = Fixed.from_float(1.25)
+        assert x.value == 1.25
+
+    def test_arithmetic_operators(self):
+        a = Fixed.from_float(2.0)
+        b = Fixed.from_float(0.5)
+        assert (a + b).value == 2.5
+        assert (a - b).value == 1.5
+        assert (a * b).value == 1.0
+        assert (-a).value == -2.0
+
+    def test_comparisons(self):
+        a = Fixed.from_float(1.0)
+        b = Fixed.from_float(2.0)
+        assert a < b
+        assert b > a
+        assert a <= a
+        assert a >= a
+        assert a == Fixed.from_float(1.0)
+
+    def test_format_mismatch_raises(self):
+        a = Fixed.from_float(1.0, FixedFormat(16, 8))
+        b = Fixed.from_float(1.0, FixedFormat(32, 22))
+        with pytest.raises(FixedPointFormatError):
+            _ = a + b
+
+    def test_zero_and_one_constructors(self):
+        assert Fixed.zero().value == 0.0
+        assert Fixed.one().value == 1.0
+
+    def test_hash_consistent_with_eq(self):
+        a = Fixed.from_float(0.5)
+        b = Fixed.from_float(0.5)
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_format(self):
+        assert "Q9.22" in repr(Fixed.from_float(0.5))

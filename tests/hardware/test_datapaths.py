@@ -1,0 +1,174 @@
+"""Unit tests for the per-feature data paths (Figure 9)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.features import features_for_model
+from repro.fixedpoint import FLEXON_FORMAT, fx_from_float, fx_to_float
+from repro.hardware import datapaths as dp
+from repro.hardware.constants import prepare_constants
+from repro.models import ModelParameters
+
+DT = 1e-4
+FMT = FLEXON_FORMAT
+
+
+def _constants(model="AdEx", **overrides):
+    return prepare_constants(
+        ModelParameters(**overrides), features_for_model(model), DT
+    )
+
+
+def _raw(value):
+    return fx_from_float(np.asarray(value, dtype=np.float64), FMT)
+
+
+def _val(raw):
+    return fx_to_float(raw, FMT)
+
+
+class TestCubExdLid:
+    def test_exd_multiplies_by_complement(self):
+        c = _constants(tau=20e-3)
+        out = dp.CubExdLidPath.exd(_raw([0.8]), c)
+        assert _val(out)[0] == pytest.approx(0.8 * 0.995, abs=1e-5)
+
+    def test_lid_subtracts_clamped_leak(self):
+        c = _constants("LLIF", leak_rate=20.0)
+        # Above the leak: subtract the full V_leak.
+        out = dp.CubExdLidPath.lid(_raw([0.5]), c)
+        assert _val(out)[0] == pytest.approx(0.5 - 0.002, abs=1e-5)
+        # Below the leak: clamp so v lands exactly at rest.
+        out = dp.CubExdLidPath.lid(_raw([0.001]), c)
+        assert _val(out)[0] == pytest.approx(0.0, abs=1e-6)
+        # Below rest: no leak at all.
+        out = dp.CubExdLidPath.lid(_raw([-0.3]), c)
+        assert _val(out)[0] == pytest.approx(-0.3, abs=1e-6)
+
+    def test_inventory_has_multiplier_and_clamp(self):
+        inventory = dp.CubExdLidPath.unit_inventory()
+        assert inventory["mul"] == 1
+        assert inventory["cmp"] >= 1
+
+
+class TestConductancePaths:
+    def test_cobe_decay_and_accumulate(self):
+        c = _constants(tau_g=(5e-3, 10e-3))
+        g = _raw([0.5])
+        out = dp.CobePath.update(g, _raw([0.1]), 0, c)
+        assert _val(out)[0] == pytest.approx(0.5 * 0.98 + 0.1, abs=1e-5)
+
+    def test_coba_cascade(self):
+        c = _constants("AdEx_COBA", tau_g=(5e-3, 10e-3))
+        g, y = _raw([0.0]), _raw([0.0])
+        g1, y1 = dp.CobaPath.update(g, y, _raw([1.0]), 0, c)
+        assert _val(y1)[0] == pytest.approx(1.0, abs=1e-5)
+        assert _val(g1)[0] == pytest.approx(math.e * 0.02, abs=1e-4)
+
+    def test_coba_peak_normalised_to_input(self):
+        # The alpha kernel's peak equals the accumulated input weight.
+        c = _constants("AdEx_COBA", tau_g=(5e-3, 10e-3))
+        g, y = _raw([0.0]), _raw([0.0])
+        zero = _raw([0.0])
+        peak = 0.0
+        for step in range(1500):
+            inp = _raw([1.0]) if step == 0 else zero
+            g, y = dp.CobaPath.update(g, y, inp, 0, c)
+            peak = max(peak, _val(g)[0])
+        assert peak == pytest.approx(1.0, rel=0.05)
+
+    def test_rev_scales_by_driving_force(self):
+        c = _constants(v_g=(4.33, -1.0))
+        out = dp.RevPath.contribution(_raw([0.5]), _raw([0.2]), 0, c)
+        assert _val(out)[0] == pytest.approx((4.33 - 0.5) * 0.2, abs=1e-4)
+
+    def test_rev_inhibitory_type_is_negative_above_reversal(self):
+        c = _constants(v_g=(4.33, -1.0))
+        out = dp.RevPath.contribution(_raw([0.5]), _raw([0.2]), 1, c)
+        assert _val(out)[0] < 0.0
+
+
+class TestInitiationPaths:
+    def test_qdi_quadratic_value(self):
+        c = _constants("QIF", v_c=0.5, tau=20e-3)
+        out = dp.QdiPath.contribution(_raw([1.6]), c)
+        expected = 0.005 * (0.0 - 1.6) * (0.5 - 1.6)
+        assert _val(out)[0] == pytest.approx(expected, abs=1e-4)
+
+    def test_exi_grows_rapidly_past_threshold(self):
+        c = _constants("EIF", delta_t=0.133, tau=20e-3)
+        below = _val(dp.ExiPath.contribution(_raw([0.5]), c))[0]
+        above = _val(dp.ExiPath.contribution(_raw([1.4]), c))[0]
+        assert above > 100 * max(below, 1e-9)
+
+    def test_exi_uses_saturating_exp(self):
+        c = _constants("EIF")
+        out = dp.ExiPath.contribution(_raw([50.0]), c)
+        assert np.isfinite(_val(out)[0])
+
+
+class TestSpikeTriggeredPaths:
+    def test_adt_decay(self):
+        c = _constants(tau_w=100e-3)
+        out = dp.AdtPath.decay(_raw([-0.5]), c)
+        assert _val(out)[0] == pytest.approx(-0.5 * 0.999, abs=1e-5)
+
+    def test_sbt_adds_subthreshold_drive(self):
+        c = _constants(a=-0.02, v_w=0.4, tau=20e-3, tau_w=100e-3)
+        out = dp.SbtPath.update(_raw([0.0]), _raw([0.8]), c)
+        expected = 0.005 * (-0.02) * (0.8 - 0.4)
+        assert _val(out)[0] == pytest.approx(expected, abs=1e-5)
+
+    def test_rr_returns_decayed_states_and_contribution(self):
+        c = _constants(
+            "IF_cond_exp_gsfa_grr",
+            tau_w=110e-3, tau_r=1.97e-3, v_ar=-0.5, v_rr=-1.0,
+        )
+        w, r, contribution = dp.RrPath.update(
+            _raw([0.1]), _raw([0.2]), _raw([0.5]), c
+        )
+        assert _val(w)[0] < 0.1
+        assert _val(r)[0] < 0.2
+        # Both couplings inhibit when v is above both reversals.
+        assert _val(contribution)[0] < 0.0
+
+
+class TestArPath:
+    def test_gate_masks_refractory_rows(self):
+        inputs = np.array([[10, 20, 30]], dtype=np.int64)
+        cnt = np.array([0, 3, 0], dtype=np.int64)
+        gated = dp.ArPath.gate(inputs, cnt)
+        assert gated[0].tolist() == [10, 0, 30]
+
+    def test_tick_saturates_at_zero(self):
+        cnt = np.array([2, 1, 0], dtype=np.int64)
+        assert dp.ArPath.tick(cnt).tolist() == [1, 0, 0]
+
+    def test_no_multiplier_in_inventory(self):
+        assert "mul" not in dp.ArPath.unit_inventory()
+
+
+class TestInventories:
+    def test_all_ten_datapaths_enumerated(self):
+        assert len(dp.ALL_DATAPATHS) == 10
+
+    def test_coba_embeds_cobe(self):
+        cobe = dp.CobePath.unit_inventory()
+        coba = dp.CobaPath.unit_inventory()
+        for unit, count in cobe.items():
+            assert coba.get(unit, 0) >= count
+
+    def test_sbt_embeds_adt(self):
+        adt = dp.AdtPath.unit_inventory()
+        sbt = dp.SbtPath.unit_inventory()
+        for unit, count in adt.items():
+            assert sbt.get(unit, 0) >= count
+
+    def test_only_exi_needs_the_exp_unit(self):
+        for path in dp.ALL_DATAPATHS:
+            if path is dp.ExiPath:
+                assert path.unit_inventory().get("exp", 0) == 1
+            else:
+                assert path.unit_inventory().get("exp", 0) == 0

@@ -1,0 +1,117 @@
+"""Failure-injection tests: hardware limits fail loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    FixedPointOverflowError,
+    SimulationError,
+)
+from repro.features import features_for_model
+from repro.fixedpoint import FLEXON_FORMAT, fx_from_float
+from repro.hardware.compiler import FlexonCompiler
+from repro.hardware.constants import prepare_constants
+from repro.models import ModelParameters
+from repro.models.registry import create_model
+
+DT = 1e-4
+
+
+class TestSynapseTypeLimit:
+    def test_four_types_supported(self):
+        params = ModelParameters(
+            n_synapse_types=4,
+            tau_g=(5e-3,) * 4,
+            v_g=(4.33, 4.33, -1.0, -1.0),
+        )
+        constants = prepare_constants(params, features_for_model("DLIF"), DT)
+        assert constants.n_synapse_types == 4
+
+    def test_five_types_rejected_with_table4_reason(self):
+        params = ModelParameters(
+            n_synapse_types=5,
+            tau_g=(5e-3,) * 5,
+            v_g=(1.0,) * 5,
+        )
+        with pytest.raises(ConfigurationError, match="2 bits"):
+            prepare_constants(params, features_for_model("DLIF"), DT)
+
+    def test_four_type_model_runs_bit_exact(self):
+        params = ModelParameters(
+            n_synapse_types=4,
+            tau_g=(5e-3, 10e-3, 8e-3, 6e-3),
+            v_g=(4.33, 4.33, -1.0, -1.0),
+        )
+        from repro.models.feature_model import FeatureModel
+
+        model = FeatureModel(features_for_model("DLIF"), params)
+        compiled = FlexonCompiler().compile(model, DT)
+        flexon = compiled.instantiate_flexon(8)
+        folded = compiled.instantiate_folded(8)
+        rng = np.random.default_rng(1)
+        for _ in range(150):
+            weights = (rng.random((4, 8)) < 0.1) * 1.0
+            raw = fx_from_float(
+                weights * compiled.weight_scale, FLEXON_FORMAT
+            )
+            assert np.array_equal(
+                flexon.step(raw.copy()), folded.step(raw.copy())
+            )
+
+
+class TestShapeErrors:
+    def test_flexon_rejects_wrong_input_shape(self):
+        compiled = FlexonCompiler().compile(create_model("LIF"), DT)
+        neuron = compiled.instantiate_flexon(4)
+        with pytest.raises(SimulationError):
+            neuron.step(np.zeros((3, 4), dtype=np.int64))
+        with pytest.raises(SimulationError):
+            neuron.step(np.zeros((2, 5), dtype=np.int64))
+
+    def test_folded_rejects_wrong_input_shape(self):
+        compiled = FlexonCompiler().compile(create_model("LIF"), DT)
+        neuron = compiled.instantiate_folded(4)
+        with pytest.raises(SimulationError):
+            neuron.step(np.zeros((2, 3), dtype=np.int64))
+
+
+class TestSaturationBehaviour:
+    def test_oversized_weights_saturate_not_wrap(self):
+        # A pathological weight saturates the 32-bit format and the
+        # neuron fires; nothing wraps to negative.
+        compiled = FlexonCompiler().compile(create_model("LIF"), DT)
+        neuron = compiled.instantiate_flexon(1)
+        huge = fx_from_float(
+            np.full((2, 1), 1e12) * compiled.weight_scale, FLEXON_FORMAT
+        )
+        assert huge[0, 0] == FLEXON_FORMAT.raw_max
+        fired = neuron.step(huge)
+        assert fired[0]
+        assert neuron.state["v"][0] == compiled.constants.v_reset
+
+    def test_strict_quantisation_flags_out_of_range_constants(self):
+        with pytest.raises(FixedPointOverflowError):
+            fx_from_float(1e9, FLEXON_FORMAT, strict=True)
+
+    def test_membrane_clamp_engages_under_extreme_inhibition(self):
+        # Inject absurd inhibitory conductance: the truncated membrane
+        # store clamps at its rail instead of wrapping.
+        compiled = FlexonCompiler().compile(create_model("DLIF"), DT)
+        neuron = compiled.instantiate_flexon(1)
+        weights = np.zeros((2, 1))
+        weights[1, 0] = 500.0  # inhibitory (reversal -1.0)
+        raw = fx_from_float(weights * compiled.weight_scale, FLEXON_FORMAT)
+        for _ in range(50):
+            neuron.step(raw.copy())
+        v = neuron.state["v"][0]
+        membrane = compiled.membrane_format
+        assert membrane.raw_min <= v <= membrane.raw_max
+
+    def test_reference_model_rejects_bad_input_shapes(self):
+        model = create_model("LIF")
+        state = model.initial_state(4)
+        with pytest.raises(SimulationError):
+            model.step(state, np.zeros((1, 4)), DT)
+        with pytest.raises(SimulationError):
+            model.step(state, np.zeros((2, 3)), DT)

@@ -1,0 +1,152 @@
+"""Tests for the Table V microprogram assembler."""
+
+import pytest
+
+from repro.features import Feature, FeatureSet, features_for_model
+from repro.hardware.constants import prepare_constants
+from repro.hardware.control import AOperand, BOperand
+from repro.hardware.microcode import (
+    MAX_ADD_CONSTANTS,
+    MAX_MUL_CONSTANTS,
+    assemble,
+)
+from repro.models import ModelParameters
+
+DT = 1e-4
+
+
+def _program(features, n_types=1, **overrides):
+    params = ModelParameters(
+        n_synapse_types=n_types,
+        tau_g=(5e-3, 10e-3, 8e-3, 8e-3)[: max(2, n_types)],
+        v_g=(4.33, -1.0, 4.33, -1.0)[: max(2, n_types)],
+        **overrides,
+    )
+    fs = FeatureSet(features)
+    return assemble(fs, prepare_constants(params, fs, DT))
+
+
+class TestSignalCounts:
+    """Section V-B's cycle-count claims."""
+
+    def test_lif_is_a_single_signal(self):
+        # "to simulate CUB and EXD (i.e., LIF model), only a single
+        # control signal is necessary"
+        program = _program([Feature.EXD, Feature.CUB], n_types=1)
+        assert program.n_signals == 1
+
+    def test_qdi_needs_two_multiplier_passes(self):
+        # "to simulate QDI, two control signals should be executed to
+        # use the single multiplication unit twice"
+        lif = _program([Feature.EXD, Feature.CUB], n_types=1)
+        qif_like = _program([Feature.EXD, Feature.CUB, Feature.QDI], n_types=1)
+        assert qif_like.n_signals - lif.n_signals == 2
+
+    def test_qdi_three_cycle_latency(self):
+        # "due to pipelining, the latency of QDI simulation is three
+        # cycles" (2 signals through the 2-stage pipeline).
+        program = _program([Feature.EXD, Feature.QDI], n_types=1)
+        assert program.n_signals == 3  # EXD + 2 QDI signals
+        qdi_only = [s for s in program.signals if "tmp * v" in s.note or "eps_m * v" in s.note]
+        assert len(qdi_only) == 2
+
+    def test_cobe_one_signal_per_type(self):
+        one = _program([Feature.EXD, Feature.COBE], n_types=1)
+        two = _program([Feature.EXD, Feature.COBE], n_types=2)
+        assert two.n_signals - one.n_signals == 1
+
+    def test_coba_three_signals_per_type(self):
+        cobe = _program([Feature.EXD, Feature.COBE], n_types=1)
+        coba = _program([Feature.EXD, Feature.COBA], n_types=1)
+        assert coba.n_signals - cobe.n_signals == 2
+
+    def test_rev_adds_two_signals_per_type(self):
+        without = _program([Feature.EXD, Feature.COBE], n_types=1)
+        with_rev = _program([Feature.EXD, Feature.COBE, Feature.REV], n_types=1)
+        assert with_rev.n_signals - without.n_signals == 2
+
+    def test_rr_is_six_signals(self):
+        base = _program([Feature.EXD, Feature.CUB], n_types=1)
+        with_rr = _program([Feature.EXD, Feature.CUB, Feature.RR], n_types=1)
+        assert with_rr.n_signals - base.n_signals == 6
+
+    def test_adt_single_signal(self):
+        base = _program([Feature.EXD, Feature.CUB], n_types=1)
+        adt = _program([Feature.EXD, Feature.CUB, Feature.ADT], n_types=1)
+        assert adt.n_signals - base.n_signals == 1
+
+    def test_sbt_two_signals(self):
+        base = _program([Feature.EXD, Feature.CUB], n_types=1)
+        sbt = _program(
+            [Feature.EXD, Feature.CUB, Feature.ADT, Feature.SBT], n_types=1
+        )
+        assert sbt.n_signals - base.n_signals == 2
+
+    def test_exi_two_signals(self):
+        base = _program([Feature.EXD, Feature.COBE], n_types=1)
+        exi = _program([Feature.EXD, Feature.COBE, Feature.EXI], n_types=1)
+        assert exi.n_signals - base.n_signals == 2
+
+    def test_ar_costs_no_signals(self):
+        base = _program([Feature.EXD, Feature.CUB], n_types=1)
+        with_ar = _program([Feature.EXD, Feature.CUB, Feature.AR], n_types=1)
+        assert with_ar.n_signals == base.n_signals
+
+    def test_cycles_per_neuron_is_signals_plus_writeback(self):
+        program = _program([Feature.EXD, Feature.CUB], n_types=1)
+        assert program.cycles_per_neuron == program.n_signals + 1
+
+
+class TestProgramStructure:
+    def test_exi_is_last(self):
+        # EXI clobbers the v register with the exp output (Table V), so
+        # every v-reading op must precede it.
+        program = assemble(
+            features_for_model("AdEx"),
+            prepare_constants(ModelParameters(), features_for_model("AdEx"), DT),
+        )
+        exp_positions = [
+            i for i, s in enumerate(program.signals) if s.exp
+        ]
+        assert exp_positions, "AdEx must use the exp unit"
+        assert exp_positions[0] == program.n_signals - 2
+
+    def test_constant_buffers_within_table4_limits(self):
+        for name in (
+            "LIF", "LLIF", "DSRM0", "DLIF", "QIF", "EIF", "Izhikevich",
+            "AdEx", "AdEx_COBA", "IF_psc_alpha", "IF_cond_exp_gsfa_grr",
+        ):
+            fs = features_for_model(name)
+            program = assemble(
+                fs, prepare_constants(ModelParameters(), fs, DT)
+            )
+            assert len(program.mul_constants) <= MAX_MUL_CONSTANTS, name
+            assert len(program.add_constants) <= MAX_ADD_CONSTANTS, name
+
+    def test_constant_pool_deduplicates(self):
+        program = _program([Feature.EXD, Feature.COBE], n_types=2)
+        assert len(set(program.mul_constants)) == len(program.mul_constants)
+
+    def test_every_signal_references_valid_constants(self):
+        fs = features_for_model("AdEx_COBA")
+        program = assemble(fs, prepare_constants(ModelParameters(), fs, DT))
+        for signal in program.signals:
+            if signal.a is AOperand.CONSTANT:
+                assert signal.ca < len(program.mul_constants)
+            if signal.b is BOperand.CONSTANT:
+                assert signal.cb < len(program.add_constants)
+
+    def test_rev_suppresses_direct_conductance_accumulation(self):
+        program = _program([Feature.EXD, Feature.COBE, Feature.REV], n_types=1)
+        cobe_ops = [s for s in program.signals if s.s_wr and "g0" in s.note]
+        assert len(cobe_ops) == 1
+        assert not cobe_ops[0].v_acc  # REV takes over the contribution
+
+    def test_listing_renders(self):
+        program = _program([Feature.EXD, Feature.CUB], n_types=1)
+        listing = program.listing()
+        assert "1 signals" in listing
+
+    def test_lid_uses_leak_operand(self):
+        program = _program([Feature.LID, Feature.CUB], n_types=1)
+        assert any(s.b is BOperand.LEAK for s in program.signals)

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "Brunel"])
+        assert args.backend == "folded"
+        assert args.scale == 0.05
+
+
+class TestCommands:
+    def test_workloads_lists_table1(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "Brunel" in out
+        assert "Potjans-Diesmann" in out
+
+    def test_models_lists_signal_counts(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "AdEx_COBA" in out
+        assert "hybrid path" in out
+
+    def test_microcode_listing(self, capsys):
+        assert main(["microcode", "LIF"]) == 0
+        out = capsys.readouterr().out
+        assert "signals" in out
+        assert "weight pre-scale" in out
+
+    def test_microcode_unknown_model_fails_cleanly(self, capsys):
+        assert main(["microcode", "NoSuchModel"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_microcode_unsupported_model_fails_cleanly(self, capsys):
+        assert main(["microcode", "HH"]) == 2
+        err = capsys.readouterr().err
+        assert "HybridBackend" in err
+
+    def test_run_workload(self, capsys):
+        code = main(
+            ["run", "Vogels-Abbott", "--scale", "0.02", "--steps", "150"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spikes" in out
+        assert "neuron" in out
+
+    def test_run_on_reference_backend(self, capsys):
+        code = main(
+            [
+                "run", "Brunel", "--backend", "reference",
+                "--solver", "Euler", "--scale", "0.02", "--steps", "100",
+            ]
+        )
+        assert code == 0
+
+    def test_experiment_table5(self, capsys):
+        assert main(["experiment", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Control signals" in out
+
+    def test_experiment_table6(self, capsys):
+        assert main(["experiment", "table6"]) == 0
+        out = capsys.readouterr().out
+        assert "9.258" in out
+
+    def test_experiment_figure13_small(self, capsys):
+        code = main(
+            ["experiment", "figure13", "--scale", "0.02", "--steps", "80"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geomean latency" in out
+
+
+class TestFrontendCommands:
+    def test_example_spec_is_valid_json(self, capsys):
+        import json
+
+        assert main(["example-spec"]) == 0
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["backend"] == "folded"
+
+    def test_simulate_spec_file(self, tmp_path, capsys):
+        import json
+
+        from repro.frontend import example_spec
+
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(example_spec()))
+        assert main(["simulate", str(path), "--steps", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "folded-flexon" in out
+        assert "spikes" in out
+
+    def test_simulate_reports_plastic_weights(self, tmp_path, capsys):
+        import json
+
+        from repro.frontend import example_spec
+
+        spec = example_spec()
+        spec["projections"][0]["plasticity"] = {
+            "rule": "pair_stdp", "a_plus": 0.01,
+        }
+        path = tmp_path / "plastic.json"
+        path.write_text(json.dumps(spec))
+        assert main(["simulate", str(path), "--steps", "100"]) == 0
+        assert "mean weight" in capsys.readouterr().out
+
+    def test_simulate_bad_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        assert main(["simulate", str(path)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err

@@ -1,0 +1,109 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import Network, PoissonStimulus, Simulator
+from repro.hardware import (
+    FlexonArray,
+    FlexonBackend,
+    FoldedFlexonArray,
+    FoldedFlexonBackend,
+    HybridBackend,
+)
+from repro.network import PatternStimulus, ReferenceBackend, StateRecorder
+from repro.workloads import build_workload
+
+DT = 1e-4
+
+
+class TestQuickstartFlow:
+    """The README quickstart must actually work."""
+
+    def test_quickstart(self):
+        net = Network("demo")
+        pop = net.add_population("exc", 100, "LIF")
+        # LIF integrates currents: weights are in current units and a
+        # sustained input above theta (= 1.0) is needed to fire.
+        net.connect("exc", "exc", probability=0.1, weight=20.0)
+        net.add_stimulus(
+            PoissonStimulus(pop, 400.0, 40.0, dt=DT, n_sources=2)
+        )
+        result = Simulator(net, FoldedFlexonBackend(DT), dt=DT).run(1000)
+        assert result.total_spikes() > 0
+
+
+class TestCrossBackendConsistency:
+    """All four backends simulate the same workload sanely."""
+
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [
+            lambda: ReferenceBackend("Euler"),
+            lambda: FlexonBackend(DT),
+            lambda: FoldedFlexonBackend(DT),
+            lambda: HybridBackend(DT),
+        ],
+        ids=["reference", "flexon", "folded", "hybrid"],
+    )
+    def test_vogels_abbott_on_every_backend(self, backend_factory):
+        network = build_workload("Vogels-Abbott", scale=0.03, seed=2)
+        simulator = Simulator(network, backend_factory(), dt=DT, seed=3)
+        result = simulator.run(500)
+        rate = result.total_spikes() / network.n_neurons / (500 * DT)
+        assert 1.0 < rate < 200.0
+
+    def test_rates_agree_across_backends(self):
+        rates = {}
+        for name, backend in (
+            ("reference", ReferenceBackend("Euler")),
+            ("flexon", FlexonBackend(DT)),
+        ):
+            network = build_workload("Izhikevich", scale=0.03, seed=4)
+            result = Simulator(network, backend, dt=DT, seed=5).run(600)
+            rates[name] = result.total_spikes()
+        hi = max(rates.values())
+        lo = min(rates.values())
+        assert lo / hi > 0.85
+
+
+class TestSingleNeuronTrace:
+    def test_membrane_trace_matches_analytic_decay(self):
+        # A LIF neuron kicked once decays exponentially; the recorded
+        # trace must match v0 * (1 - eps)^t to fixed-point precision.
+        net = Network("trace")
+        pop = net.add_population("p", 1, "LIF")
+        net.add_stimulus(PatternStimulus(pop, {0: [0]}, weight=120.0))
+        recorder = StateRecorder("p", variables=("v",), neurons=[0])
+        sim = Simulator(net, FlexonBackend(DT), dt=DT, seed=0)
+        sim.run(200, state_recorders=[recorder])
+        trace = recorder.trace("v")[:, 0]
+        v_peak = trace[0]
+        assert v_peak == pytest.approx(0.6, abs=0.01)  # 120 * eps_m
+        eps = DT / 20e-3
+        expected = v_peak * (1 - eps) ** np.arange(len(trace))
+        np.testing.assert_allclose(trace, expected, atol=5e-4)
+
+
+class TestLongRunStability:
+    def test_thousand_steps_no_saturation_or_explosion(self):
+        network = build_workload("Muller et al.", scale=0.03, seed=6)
+        backend = FoldedFlexonBackend(DT)
+        simulator = Simulator(network, backend, dt=DT, seed=7)
+        simulator.run(2000)
+        for name in network.populations:
+            state = backend.state_of(name)
+            assert np.all(np.abs(state["v"]) <= 2.0)
+            assert np.all(np.isfinite(state["v"]))
+
+    def test_results_reproducible_across_runs(self):
+        def run_once():
+            network = build_workload("Brunel", scale=0.02, seed=8)
+            sim = Simulator(network, FlexonBackend(DT), dt=DT, seed=9)
+            result = sim.run(400)
+            return {
+                name: result.spikes.result(name).spike_pairs()
+                for name in network.populations
+            }
+
+        assert run_once() == run_once()

@@ -1,0 +1,152 @@
+"""Tests for the spike-train statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    activity_trace,
+    cv_isi,
+    fano_factor,
+    firing_rates,
+    isi_distribution,
+    population_rate_hz,
+    synchrony_index,
+)
+from repro.errors import ConfigurationError
+from repro.network.recorder import SpikeRecord
+
+DT = 1e-4
+
+
+def _record(pairs):
+    steps = np.array([p[0] for p in pairs], dtype=np.int64)
+    neurons = np.array([p[1] for p in pairs], dtype=np.int64)
+    return SpikeRecord(steps, neurons)
+
+
+class TestRates:
+    def test_firing_rates_per_neuron(self):
+        record = _record([(0, 0), (10, 0), (5, 1)])
+        rates = firing_rates(record, n_neurons=3, n_steps=1000, dt=DT)
+        assert rates.tolist() == [20.0, 10.0, 0.0]
+
+    def test_population_rate(self):
+        record = _record([(0, 0), (10, 0), (5, 1)])
+        assert population_rate_hz(record, 3, 1000, DT) == pytest.approx(10.0)
+
+    def test_empty_record(self):
+        record = _record([])
+        assert population_rate_hz(record, 4, 100, DT) == 0.0
+
+    def test_bad_geometry_rejected(self):
+        record = _record([])
+        with pytest.raises(ConfigurationError):
+            firing_rates(record, 0, 100, DT)
+        with pytest.raises(ConfigurationError):
+            firing_rates(record, 4, 0, DT)
+
+
+class TestIsi:
+    def test_isi_single_neuron(self):
+        record = _record([(0, 0), (10, 0), (25, 0)])
+        assert isi_distribution(record, neuron=0).tolist() == [10, 15]
+
+    def test_isi_pooled_ignores_single_spike_neurons(self):
+        record = _record([(0, 0), (10, 0), (5, 1)])
+        assert isi_distribution(record).tolist() == [10]
+
+    def test_cv_of_clockwork_firing_is_zero(self):
+        record = _record([(step, 0) for step in range(0, 200, 10)])
+        assert cv_isi(record) == pytest.approx(0.0)
+
+    def test_cv_of_poisson_firing_near_one(self):
+        rng = np.random.default_rng(0)
+        steps = np.cumsum(rng.geometric(0.05, size=2000))
+        record = _record([(int(s), 0) for s in steps])
+        assert cv_isi(record) == pytest.approx(1.0, abs=0.15)
+
+    def test_cv_undefined_for_too_few_spikes(self):
+        assert np.isnan(cv_isi(_record([(0, 0)])))
+        assert np.isnan(cv_isi(_record([])))
+
+
+class TestTraces:
+    def test_activity_trace_bins(self):
+        record = _record([(0, 0), (5, 1), (10, 0), (19, 1)])
+        trace = activity_trace(record, n_steps=20, bin_steps=10)
+        assert trace.tolist() == [2.0, 2.0]
+
+    def test_activity_trace_pads_to_full_length(self):
+        record = _record([(0, 0)])
+        assert activity_trace(record, n_steps=100, bin_steps=10).size == 10
+
+    def test_fano_factor_poisson_near_one(self):
+        rng = np.random.default_rng(1)
+        pairs = [
+            (int(step), 0)
+            for step in np.nonzero(rng.random(100_000) < 0.02)[0]
+        ]
+        assert fano_factor(_record(pairs), 100_000, 100) == pytest.approx(
+            1.0, abs=0.25
+        )
+
+    def test_fano_undefined_for_silence(self):
+        assert np.isnan(fano_factor(_record([]), 1000))
+
+
+class TestSynchrony:
+    def _synchronous(self, n=20, period=50, steps=1000):
+        pairs = []
+        for t in range(0, steps, period):
+            pairs.extend((t, unit) for unit in range(n))
+        return _record(pairs)
+
+    def _asynchronous(self, n=20, steps=1000, seed=2):
+        rng = np.random.default_rng(seed)
+        pairs = []
+        for unit in range(n):
+            fired = np.nonzero(rng.random(steps) < 0.02)[0]
+            pairs.extend((int(t), unit) for t in fired)
+        return _record(pairs)
+
+    def test_lockstep_population_scores_high(self):
+        chi = synchrony_index(self._synchronous(), 20, 1000)
+        assert chi > 0.9
+
+    def test_asynchronous_population_scores_low(self):
+        chi = synchrony_index(self._asynchronous(), 20, 1000)
+        assert chi < 0.3
+
+    def test_synchrony_ordering(self):
+        assert synchrony_index(
+            self._synchronous(), 20, 1000
+        ) > synchrony_index(self._asynchronous(), 20, 1000)
+
+    def test_silent_population_undefined(self):
+        assert np.isnan(synchrony_index(_record([]), 10, 100))
+
+
+class TestWorkloadRegimes:
+    """The Table I networks are in their intended dynamical states."""
+
+    @pytest.fixture(scope="class")
+    def brunel_record(self):
+        from repro.network import ReferenceBackend, Simulator
+        from repro.workloads import build_workload
+
+        network = build_workload("Brunel", scale=0.05, seed=1)
+        result = Simulator(
+            network, ReferenceBackend("Euler"), dt=DT, seed=2
+        ).run(3000)
+        exc = result.spikes.result("exc")
+        return exc, network.populations["exc"].n
+
+    def test_brunel_fires_irregularly(self, brunel_record):
+        record, _ = brunel_record
+        # The inhibition-dominated regime is irregular: CV well above
+        # the clockwork value.
+        assert cv_isi(record) > 0.4
+
+    def test_brunel_is_asynchronous(self, brunel_record):
+        record, n = brunel_record
+        assert synchrony_index(record, n, 3000) < 0.5

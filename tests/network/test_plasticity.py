@@ -1,0 +1,214 @@
+"""Tests for pair-based STDP and its simulator integration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.models import LIF
+from repro.network import Network, PatternStimulus, Population, Projection, Simulator
+from repro.plasticity import PairSTDP
+
+DT = 1e-4
+
+
+def _one_to_one(weight=0.5):
+    pre = Population("pre", 3, LIF())
+    post = Population("post", 3, LIF())
+    projection = Projection(
+        pre,
+        post,
+        pre_idx=np.array([0, 1, 2]),
+        post_idx=np.array([0, 1, 2]),
+        weights=np.full(3, weight),
+        delays=np.array([1, 1, 1]),
+        syn_type=0,
+    )
+    return projection
+
+
+def _fire(*idx):
+    return np.asarray(idx, dtype=np.int64)
+
+
+class TestPairSTDPRule:
+    def test_requires_attachment(self):
+        rule = PairSTDP()
+        with pytest.raises(SimulationError):
+            rule.step(_fire(), _fire(), DT)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PairSTDP(tau_plus=0.0)
+        with pytest.raises(ConfigurationError):
+            PairSTDP(w_min=1.0, w_max=0.0)
+
+    def test_pre_before_post_potentiates(self):
+        projection = _one_to_one()
+        rule = PairSTDP(a_plus=0.1, a_minus=0.1)
+        rule.attach(projection)
+        rule.step(_fire(0), _fire(), DT)  # pre spike
+        before = projection.weights[0]
+        rule.step(_fire(), _fire(0), DT)  # post spike one step later
+        assert projection.weights[0] > before
+
+    def test_post_before_pre_depresses(self):
+        projection = _one_to_one()
+        rule = PairSTDP(a_plus=0.1, a_minus=0.1)
+        rule.attach(projection)
+        rule.step(_fire(), _fire(0), DT)  # post spike
+        before = projection.weights[0]
+        rule.step(_fire(0), _fire(), DT)  # pre spike one step later
+        assert projection.weights[0] < before
+
+    def test_simultaneous_pair_is_neutral(self):
+        projection = _one_to_one()
+        rule = PairSTDP(a_plus=0.1, a_minus=0.1)
+        rule.attach(projection)
+        before = projection.weights.copy()
+        rule.step(_fire(0), _fire(0), DT)
+        np.testing.assert_array_equal(projection.weights, before)
+
+    def test_update_magnitude_decays_with_time_difference(self):
+        def potentiation_after(gap_steps):
+            projection = _one_to_one()
+            rule = PairSTDP(a_plus=0.1, tau_plus=20e-3)
+            rule.attach(projection)
+            rule.step(_fire(0), _fire(), DT)
+            for _ in range(gap_steps - 1):
+                rule.step(_fire(), _fire(), DT)
+            before = projection.weights[0]
+            rule.step(_fire(), _fire(0), DT)
+            return projection.weights[0] - before
+
+        short = potentiation_after(1)
+        long = potentiation_after(100)
+        assert short > long > 0.0
+        # The decay follows exp(-gap / tau): 100 steps = 10 ms = tau/2.
+        assert long / short == pytest.approx(math.exp(-99 * DT / 20e-3), rel=1e-6)
+
+    def test_only_touched_synapses_change(self):
+        projection = _one_to_one()
+        rule = PairSTDP(a_plus=0.1, a_minus=0.1)
+        rule.attach(projection)
+        rule.step(_fire(0), _fire(), DT)
+        before = projection.weights.copy()
+        rule.step(_fire(), _fire(0), DT)
+        assert projection.weights[0] != before[0]
+        np.testing.assert_array_equal(projection.weights[1:], before[1:])
+
+    def test_weights_clip_to_bounds(self):
+        projection = _one_to_one(weight=0.99)
+        rule = PairSTDP(a_plus=10.0, a_minus=10.0, w_min=0.0, w_max=1.0)
+        rule.attach(projection)
+        for _ in range(5):
+            rule.step(_fire(0), _fire(), DT)
+            rule.step(_fire(), _fire(0), DT)
+        assert 0.0 <= projection.weights[0] <= 1.0
+
+    def test_traces_decay_exponentially(self):
+        projection = _one_to_one()
+        rule = PairSTDP(tau_plus=20e-3)
+        rule.attach(projection)
+        rule.step(_fire(0), _fire(), DT)
+        first = rule.pre_trace[0]
+        for _ in range(10):
+            rule.step(_fire(), _fire(), DT)
+        assert rule.pre_trace[0] == pytest.approx(
+            first * math.exp(-10 * DT / 20e-3)
+        )
+
+    def test_cannot_attach_to_two_projections(self):
+        rule = PairSTDP()
+        rule.attach(_one_to_one())
+        with pytest.raises(ConfigurationError):
+            rule.attach(_one_to_one())
+
+    def test_mean_weight_monitor(self):
+        projection = _one_to_one(weight=0.5)
+        rule = PairSTDP()
+        rule.attach(projection)
+        assert rule.mean_weight() == pytest.approx(0.5)
+
+
+class TestProjectionIndexViews:
+    def test_pre_of_synapses(self):
+        projection = _one_to_one()
+        assert projection.pre_of_synapses().tolist() == [0, 1, 2]
+
+    def test_synapse_indices_into(self):
+        pre = Population("pre", 2, LIF())
+        post = Population("post", 2, LIF())
+        projection = Projection(
+            pre, post,
+            pre_idx=np.array([0, 0, 1]),
+            post_idx=np.array([0, 1, 1]),
+            weights=np.ones(3),
+            delays=np.ones(3, dtype=np.int64),
+            syn_type=0,
+        )
+        into_1 = projection.synapse_indices_into(np.array([1]))
+        assert sorted(projection.post_idx[into_1].tolist()) == [1, 1]
+        pres = projection.pre_of_synapses()[into_1]
+        assert sorted(pres.tolist()) == [0, 1]
+
+    def test_empty_queries(self):
+        projection = _one_to_one()
+        assert projection.synapse_indices_of(_fire()).size == 0
+        assert projection.synapse_indices_into(_fire()).size == 0
+
+
+class TestSimulatorIntegration:
+    def _learning_network(self):
+        net = Network("stdp")
+        inputs = net.add_population("inputs", 4, "LIF")
+        net.add_population("output", 1, "LIF")
+        # Weak enough that input arrivals alone never fire the
+        # output: only the forced "teacher" spike at step 3 does.
+        projection = net.connect(
+            "inputs", "output", probability=1.0, weight=5.0, delay_steps=1
+        )
+        # Channels 0,1 fire 2 steps before the output is forced to
+        # fire; channels 2,3 fire right after it.
+        net.add_stimulus(
+            PatternStimulus(inputs, {0: [0, 1], 5: [2, 3]}, weight=200.0,
+                            period=40)
+        )
+        net.add_stimulus(
+            PatternStimulus(
+                net.populations["output"], {3: [0]}, weight=200.0, period=40
+            )
+        )
+        rule = PairSTDP(a_plus=0.5, a_minus=0.5, w_min=0.0, w_max=20.0)
+        net.add_plasticity(projection, rule)
+        return net, projection, rule
+
+    def test_causal_channels_potentiate_anticausal_depress(self):
+        net, projection, rule = self._learning_network()
+        Simulator(net, dt=DT, seed=0).run(400)
+        pre_of = projection.pre_of_synapses()
+        causal = projection.weights[np.isin(pre_of, [0, 1])].mean()
+        anticausal = projection.weights[np.isin(pre_of, [2, 3])].mean()
+        assert causal > 5.0
+        assert anticausal < 5.0
+
+    def test_weights_frozen_without_rule(self):
+        net = Network("static")
+        inputs = net.add_population("inputs", 4, "LIF")
+        net.add_population("output", 1, "LIF")
+        projection = net.connect(
+            "inputs", "output", probability=1.0, weight=30.0
+        )
+        net.add_stimulus(
+            PatternStimulus(inputs, {0: [0, 1, 2, 3]}, weight=200.0, period=10)
+        )
+        Simulator(net, dt=DT, seed=0).run(200)
+        assert np.all(projection.weights == 30.0)
+
+    def test_add_plasticity_requires_member_projection(self):
+        net = Network("x")
+        net.add_population("a", 2, "LIF")
+        foreign = _one_to_one()
+        with pytest.raises(ConfigurationError):
+            net.add_plasticity(foreign, PairSTDP())

@@ -1,0 +1,180 @@
+"""Tests for projections and the connect() builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import LIF
+from repro.network import Population, Projection, connect
+
+
+def _pops(n_pre=10, n_post=20):
+    return Population("pre", n_pre, LIF()), Population("post", n_post, LIF())
+
+
+class TestProjection:
+    def test_csr_layout_sorted_by_pre(self):
+        pre, post = _pops()
+        proj = Projection(
+            pre,
+            post,
+            pre_idx=np.array([3, 1, 1, 0]),
+            post_idx=np.array([5, 6, 7, 8]),
+            weights=np.array([0.1, 0.2, 0.3, 0.4]),
+            delays=np.array([1, 2, 3, 4]),
+            syn_type=0,
+        )
+        assert proj.n_synapses == 4
+        # pre 0 -> ptr [0,1); pre 1 -> [1,3); pre 3 -> [3,4)
+        assert list(proj.pre_ptr[:5]) == [0, 1, 3, 3, 4]
+        assert proj.post_idx[0] == 8  # pre 0's synapse
+
+    def test_synapses_of_gathers_fired_rows(self):
+        pre, post = _pops()
+        proj = Projection(
+            pre,
+            post,
+            pre_idx=np.array([0, 0, 2]),
+            post_idx=np.array([1, 2, 3]),
+            weights=np.array([0.5, 0.6, 0.7]),
+            delays=np.array([1, 2, 3]),
+            syn_type=0,
+        )
+        post_idx, weights, delays = proj.synapses_of(np.array([0, 2]))
+        assert sorted(post_idx.tolist()) == [1, 2, 3]
+        assert sorted(weights.tolist()) == [0.5, 0.6, 0.7]
+        assert sorted(delays.tolist()) == [1, 2, 3]
+
+    def test_synapses_of_empty_fired(self):
+        pre, post = _pops()
+        proj = connect(pre, post, probability=0.5, rng=np.random.default_rng(0))
+        post_idx, weights, delays = proj.synapses_of(np.array([], dtype=np.int64))
+        assert post_idx.size == 0
+
+    def test_synapses_of_neuron_without_outgoing(self):
+        pre, post = _pops()
+        proj = Projection(
+            pre,
+            post,
+            pre_idx=np.array([0]),
+            post_idx=np.array([1]),
+            weights=np.array([0.5]),
+            delays=np.array([1]),
+            syn_type=0,
+        )
+        post_idx, _, _ = proj.synapses_of(np.array([5]))
+        assert post_idx.size == 0
+
+    def test_max_delay(self):
+        pre, post = _pops()
+        proj = Projection(
+            pre, post,
+            pre_idx=np.array([0, 1]),
+            post_idx=np.array([0, 1]),
+            weights=np.array([1.0, 1.0]),
+            delays=np.array([3, 9]),
+            syn_type=0,
+        )
+        assert proj.max_delay == 9
+
+    def test_rejects_mismatched_arrays(self):
+        pre, post = _pops()
+        with pytest.raises(ConfigurationError):
+            Projection(
+                pre, post,
+                pre_idx=np.array([0]),
+                post_idx=np.array([0, 1]),
+                weights=np.array([1.0]),
+                delays=np.array([1]),
+                syn_type=0,
+            )
+
+    def test_rejects_out_of_range_indices(self):
+        pre, post = _pops()
+        with pytest.raises(ConfigurationError):
+            Projection(
+                pre, post,
+                pre_idx=np.array([99]),
+                post_idx=np.array([0]),
+                weights=np.array([1.0]),
+                delays=np.array([1]),
+                syn_type=0,
+            )
+
+    def test_rejects_zero_delay(self):
+        pre, post = _pops()
+        with pytest.raises(ConfigurationError):
+            Projection(
+                pre, post,
+                pre_idx=np.array([0]),
+                post_idx=np.array([0]),
+                weights=np.array([1.0]),
+                delays=np.array([0]),
+                syn_type=0,
+            )
+
+    def test_rejects_bad_synapse_type(self):
+        pre, post = _pops()
+        with pytest.raises(ConfigurationError):
+            Projection(
+                pre, post,
+                pre_idx=np.array([0]),
+                post_idx=np.array([0]),
+                weights=np.array([1.0]),
+                delays=np.array([1]),
+                syn_type=5,
+            )
+
+
+class TestConnect:
+    def test_all_to_all(self):
+        pre, post = _pops(4, 5)
+        proj = connect(pre, post, probability=1.0)
+        assert proj.n_synapses == 20
+
+    def test_self_connections_excluded_by_default(self):
+        pop = Population("p", 6, LIF())
+        proj = connect(pop, pop, probability=1.0)
+        assert proj.n_synapses == 30
+        assert not np.any(
+            np.repeat(np.arange(6), np.diff(proj.pre_ptr)) == proj.post_idx
+        )
+
+    def test_probability_hits_expected_count(self):
+        pre, post = _pops(100, 100)
+        proj = connect(
+            pre, post, probability=0.1, rng=np.random.default_rng(3)
+        )
+        assert 800 <= proj.n_synapses <= 1200
+
+    def test_sparse_path_for_large_pairs(self):
+        # Above the 4M-pair threshold the binomial sampler kicks in.
+        pre = Population("pre", 2500, LIF())
+        post = Population("post", 2500, LIF())
+        proj = connect(
+            pre, post, probability=0.001, rng=np.random.default_rng(4)
+        )
+        expected = 2500 * 2500 * 0.001
+        assert 0.8 * expected <= proj.n_synapses <= 1.2 * expected
+
+    def test_weight_jitter_keeps_sign(self):
+        pre, post = _pops(50, 50)
+        proj = connect(
+            pre, post, probability=0.5, weight=-0.1, weight_std=0.2,
+            rng=np.random.default_rng(5),
+        )
+        assert np.all(proj.weights <= 0.0)
+
+    def test_delay_jitter_range(self):
+        pre, post = _pops(20, 20)
+        proj = connect(
+            pre, post, probability=1.0, delay_steps=3, delay_jitter=4,
+            rng=np.random.default_rng(6),
+        )
+        assert proj.delays.min() >= 3
+        assert proj.delays.max() <= 7
+
+    def test_rejects_bad_probability(self):
+        pre, post = _pops()
+        with pytest.raises(ConfigurationError):
+            connect(pre, post, probability=1.5)

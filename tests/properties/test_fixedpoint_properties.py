@@ -1,0 +1,152 @@
+"""Property-based tests for the fixed-point substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import (
+    FLEXON_FORMAT,
+    FixedFormat,
+    fast_exp,
+    fx_add,
+    fx_from_float,
+    fx_mul,
+    fx_neg,
+    fx_sub,
+    fx_to_float,
+)
+
+FMT = FLEXON_FORMAT
+
+raw_values = st.integers(min_value=FMT.raw_min, max_value=FMT.raw_max)
+floats_in_range = st.floats(
+    min_value=FMT.min_value / 2,
+    max_value=FMT.max_value / 2,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+class TestConversionProperties:
+    @given(floats_in_range)
+    def test_round_trip_error_within_half_lsb(self, value):
+        raw = fx_from_float(value, FMT)
+        assert abs(fx_to_float(raw, FMT) - value) <= FMT.resolution / 2 + 1e-15
+
+    @given(raw_values)
+    def test_raw_round_trip_is_exact(self, raw):
+        assert fx_from_float(fx_to_float(raw, FMT), FMT) == raw
+
+    @given(st.floats(allow_nan=False))
+    def test_conversion_never_leaves_range(self, value):
+        raw = fx_from_float(value, FMT)
+        assert FMT.raw_min <= raw <= FMT.raw_max
+
+    @given(floats_in_range, floats_in_range)
+    def test_quantisation_is_monotone(self, a, b):
+        if a <= b:
+            assert fx_from_float(a, FMT) <= fx_from_float(b, FMT)
+
+
+class TestArithmeticProperties:
+    @given(raw_values, raw_values)
+    def test_add_commutes(self, a, b):
+        assert fx_add(a, b, FMT) == fx_add(b, a, FMT)
+
+    @given(raw_values, raw_values)
+    def test_mul_commutes(self, a, b):
+        assert fx_mul(a, b, FMT) == fx_mul(b, a, FMT)
+
+    @given(raw_values)
+    def test_add_zero_is_identity(self, a):
+        assert fx_add(a, 0, FMT) == a
+
+    @given(raw_values)
+    def test_mul_one_is_identity(self, a):
+        one = fx_from_float(1.0, FMT)
+        assert fx_mul(a, one, FMT) == a
+
+    @given(raw_values)
+    def test_mul_zero_is_zero(self, a):
+        assert fx_mul(a, 0, FMT) == 0
+
+    @given(raw_values)
+    def test_neg_is_involution_away_from_rails(self, a):
+        if a != FMT.raw_min:
+            assert fx_neg(fx_neg(a, FMT), FMT) == a
+
+    @given(raw_values, raw_values)
+    def test_sub_is_add_of_negation(self, a, b):
+        if b != FMT.raw_min:
+            assert fx_sub(a, b, FMT) == fx_add(a, fx_neg(b, FMT), FMT)
+
+    @given(raw_values, raw_values)
+    def test_results_always_in_range(self, a, b):
+        for op in (fx_add, fx_sub, fx_mul):
+            result = op(a, b, FMT)
+            assert FMT.raw_min <= result <= FMT.raw_max
+
+    @given(raw_values, raw_values)
+    def test_mul_truncation_error_bounded(self, a, b):
+        exact = fx_to_float(a, FMT) * fx_to_float(b, FMT)
+        if FMT.min_value <= exact <= FMT.max_value:
+            approx = fx_to_float(fx_mul(a, b, FMT), FMT)
+            assert exact - approx < FMT.resolution + 1e-15
+            assert approx <= exact + 1e-15  # truncation never rounds up
+
+    @given(
+        st.lists(raw_values, min_size=2, max_size=8),
+    )
+    def test_addition_order_invariant_without_saturation(self, values):
+        # Bounded inputs that cannot saturate: reorderings agree —
+        # the property that lets baseline Flexon's adder tree and the
+        # folded accumulator produce identical sums.
+        scaled = [v // 16 for v in values]
+        total = 0
+        for v in scaled:
+            total = fx_add(total, v, FMT)
+        total_reversed = 0
+        for v in reversed(scaled):
+            total_reversed = fx_add(total_reversed, v, FMT)
+        assert total == total_reversed
+
+    @given(raw_values, raw_values)
+    def test_vector_and_scalar_paths_agree(self, a, b):
+        vec = fx_mul(
+            np.array([a], dtype=np.int64), np.array([b], dtype=np.int64), FMT
+        )
+        assert int(vec[0]) == fx_mul(a, b, FMT)
+
+
+class TestFastExpProperties:
+    @given(st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+    def test_relative_error_bounded(self, y):
+        exact = np.exp(y)
+        assert abs(fast_exp(y) - exact) / exact < 0.05
+
+    @given(
+        st.floats(min_value=-50.0, max_value=50.0),
+        st.floats(min_value=-50.0, max_value=50.0),
+    )
+    def test_monotone(self, a, b):
+        if a <= b:
+            assert fast_exp(a) <= fast_exp(b) * (1 + 1e-12)
+
+    @given(st.floats(allow_nan=False))
+    def test_output_positive_and_finite(self, y):
+        out = fast_exp(y)
+        assert out >= 0.0
+        assert np.isfinite(out)
+
+
+class TestFormatProperties:
+    @given(
+        st.integers(min_value=2, max_value=63),
+        st.data(),
+    )
+    def test_any_valid_format_round_trips_zero_and_bounds(self, bits, data):
+        frac = data.draw(st.integers(min_value=0, max_value=bits))
+        fmt = FixedFormat(bits, frac)
+        assert fx_from_float(0.0, fmt) == 0
+        assert fx_from_float(fmt.max_value, fmt) == fmt.raw_max
+        assert fx_from_float(fmt.min_value, fmt) == fmt.raw_min

@@ -1,0 +1,126 @@
+"""Property-based tests on neuron-model and hardware invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FeatureConflictError
+from repro.features import Feature, FeatureSet, MODEL_FEATURES
+from repro.fixedpoint import FLEXON_FORMAT, fx_from_float
+from repro.hardware.compiler import FlexonCompiler
+from repro.hardware.constants import prepare_constants
+from repro.hardware.microcode import assemble
+from repro.models import ModelParameters
+from repro.models.feature_model import FeatureModel
+
+DT = 1e-4
+
+feature_subsets = st.sets(st.sampled_from(list(Feature)), max_size=8)
+
+
+def _try_feature_set(features):
+    try:
+        return FeatureSet(features)
+    except FeatureConflictError:
+        return None
+
+
+class TestFeatureSetProperties:
+    @given(feature_subsets)
+    def test_validation_is_deterministic(self, features):
+        first = _try_feature_set(features)
+        second = _try_feature_set(features)
+        assert (first is None) == (second is None)
+        if first is not None:
+            assert first == second
+
+    @given(feature_subsets)
+    @settings(max_examples=200)
+    def test_valid_sets_never_hold_conflicting_pairs(self, features):
+        fs = _try_feature_set(features)
+        if fs is None:
+            return
+        assert not ({Feature.EXD, Feature.LID} <= fs.features)
+        assert not ({Feature.QDI, Feature.EXI} <= fs.features)
+        assert not ({Feature.CUB, Feature.COBE} <= fs.features)
+        assert not ({Feature.CUB, Feature.COBA} <= fs.features)
+        assert not ({Feature.COBE, Feature.COBA} <= fs.features)
+        if Feature.REV in fs:
+            assert fs.uses_conductance
+        if Feature.SBT in fs:
+            assert Feature.ADT in fs
+
+    @given(feature_subsets)
+    @settings(max_examples=100)
+    def test_every_valid_set_assembles_and_simulates(self, features):
+        fs = _try_feature_set(features)
+        if fs is None:
+            return
+        params = ModelParameters()
+        # The microprogram assembles within Table IV's constant limits.
+        program = assemble(fs, prepare_constants(params, fs, DT))
+        assert program.n_signals >= 1
+        # And the generic model steps without error.
+        model = FeatureModel(fs, params)
+        state = model.initial_state(4)
+        inputs = np.full((2, 4), 0.05)
+        fired = model.step(state, inputs, DT)
+        assert fired.shape == (4,)
+        assert np.all(np.isfinite(state["v"]))
+
+
+class TestHardwareProperties:
+    @given(
+        st.sampled_from(list(MODEL_FEATURES)),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_flexon_folded_bit_equivalence_random_stimuli(self, name, seed):
+        from repro.models.registry import create_model
+
+        model = create_model(name)
+        compiled = FlexonCompiler().compile(model, DT)
+        flexon = compiled.instantiate_flexon(6)
+        folded = compiled.instantiate_folded(6)
+        rng = np.random.default_rng(seed)
+        n_types = model.parameters.n_synapse_types
+        for _ in range(60):
+            weights = rng.random((n_types, 6)) * (rng.random((n_types, 6)) < 0.2)
+            raw = fx_from_float(
+                weights * compiled.weight_scale * 20.0, FLEXON_FORMAT
+            )
+            fired_fx = flexon.step(raw.copy())
+            fired_fd = folded.step(raw.copy())
+            assert np.array_equal(fired_fx, fired_fd)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_refractory_counter_never_negative(self, seed):
+        from repro.models.registry import create_model
+
+        model = create_model("SLIF")
+        compiled = FlexonCompiler().compile(model, DT)
+        neuron = compiled.instantiate_flexon(4)
+        rng = np.random.default_rng(seed)
+        for _ in range(100):
+            weights = (rng.random((2, 4)) < 0.3) * 60.0
+            raw = fx_from_float(
+                weights * compiled.weight_scale, FLEXON_FORMAT
+            )
+            neuron.step(raw)
+            assert np.all(neuron.state["cnt"] >= 0)
+
+    @given(st.floats(min_value=0.0, max_value=500.0))
+    @settings(max_examples=30, deadline=None)
+    def test_membrane_resets_exactly_on_fire(self, current):
+        from repro.models.registry import create_model
+
+        model = create_model("LIF")
+        compiled = FlexonCompiler().compile(model, DT)
+        neuron = compiled.instantiate_flexon(1)
+        raw = fx_from_float(
+            np.full((2, 1), current) * compiled.weight_scale, FLEXON_FORMAT
+        )
+        for _ in range(30):
+            fired = neuron.step(raw.copy())
+            if fired[0]:
+                assert neuron.state["v"][0] == compiled.constants.v_reset

@@ -1,0 +1,166 @@
+"""Tests for the Euler and RKF45 solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.models import LIF, AdEx, ModelParameters
+from repro.models.feature_model import FeatureModel
+from repro.features import Feature, FeatureSet
+from repro.solvers import EulerSolver, RKF45Solver, create_solver
+from repro.solvers.rkf45 import rkf45_integrate
+
+DT = 1e-4
+
+
+class TestCreateSolver:
+    def test_names(self):
+        assert create_solver("Euler").name == "Euler"
+        assert create_solver("RKF45").name == "RKF45"
+        assert create_solver("euler").name == "Euler"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            create_solver("RK4")
+
+
+class TestEulerSolver:
+    def test_counts_one_evaluation_per_step(self):
+        solver = EulerSolver()
+        model = LIF()
+        state = model.initial_state(3)
+        for _ in range(10):
+            solver.advance(model, state, np.zeros((2, 3)), DT)
+        assert solver.evaluations_per_step() == 1.0
+        assert solver.evaluations == 10
+
+    def test_matches_model_step(self):
+        model = LIF()
+        solver = EulerSolver()
+        state_a = model.initial_state(2)
+        state_b = model.initial_state(2)
+        inputs = np.full((2, 2), 10.0)
+        fired_a = solver.advance(model, state_a, inputs.copy(), DT)
+        fired_b = model.step(state_b, inputs.copy(), DT)
+        np.testing.assert_array_equal(fired_a, fired_b)
+        np.testing.assert_array_equal(state_a["v"], state_b["v"])
+
+    def test_reset_counters(self):
+        solver = EulerSolver()
+        solver.advance(LIF(), LIF().initial_state(1), np.zeros((2, 1)), DT)
+        solver.reset_counters()
+        assert solver.evaluations == 0
+        assert solver.evaluations_per_step() == 1.0
+
+
+class TestRKF45Integrate:
+    def test_exponential_decay_accuracy(self):
+        # dy/dt = -10 y; exact: y0 * exp(-10 t)
+        y0 = np.array([1.0])
+        y1, evaluations = rkf45_integrate(
+            lambda t, y: -10.0 * y, y0, 0.0, 0.5, rtol=1e-8, atol=1e-12
+        )
+        assert y1[0] == pytest.approx(np.exp(-5.0), rel=1e-6)
+        assert evaluations % 6 == 0
+
+    def test_harmonic_oscillator_conserves_energy(self):
+        def rhs(_t, y):
+            return np.array([y[1], -y[0]])
+
+        y0 = np.array([1.0, 0.0])
+        y1, _ = rkf45_integrate(rhs, y0, 0.0, 2 * np.pi, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(y1, y0, atol=1e-5)
+
+    def test_adaptive_takes_fewer_steps_for_smooth_problems(self):
+        _, easy = rkf45_integrate(lambda t, y: -y, np.array([1.0]), 0.0, 1.0)
+        _, hard = rkf45_integrate(
+            lambda t, y: -200.0 * y, np.array([1.0]), 0.0, 1.0
+        )
+        assert easy < hard
+
+    def test_zero_span_is_identity(self):
+        y0 = np.array([3.0])
+        y1, evaluations = rkf45_integrate(lambda t, y: y, y0, 1.0, 1.0)
+        assert y1[0] == 3.0
+        assert evaluations == 0
+
+    def test_max_steps_exceeded_raises(self):
+        with pytest.raises(SimulationError):
+            rkf45_integrate(
+                lambda t, y: -1e9 * y,
+                np.array([1.0]),
+                0.0,
+                1.0,
+                rtol=1e-13,
+                atol=1e-16,
+                max_steps=3,
+            )
+
+
+class TestRKF45Solver:
+    def test_lif_cub_jumps_drive_firing(self):
+        # In the continuous formulation CUB inputs are instantaneous
+        # jumps: accumulating 0.4 per step crosses threshold quickly.
+        model = LIF(ModelParameters(tau=20e-3))
+        state = model.initial_state(1)
+        rkf = RKF45Solver()
+        inputs = np.zeros((2, 1))
+        inputs[0, 0] = 0.4
+        fired_any = any(
+            rkf.advance(model, state, inputs.copy(), DT)[0]
+            for _ in range(30)
+        )
+        assert fired_any
+
+    def test_decay_only_agreement(self):
+        model = LIF(ModelParameters(tau=20e-3))
+        euler_state = model.initial_state(1)
+        rkf_state = model.initial_state(1)
+        euler_state["v"][:] = 0.8
+        rkf_state["v"][:] = 0.8
+        euler = EulerSolver()
+        rkf = RKF45Solver()
+        zeros = np.zeros((2, 1))
+        for _ in range(100):
+            euler.advance(model, euler_state, zeros.copy(), DT)
+            rkf.advance(model, rkf_state, zeros.copy(), DT)
+        # Both approximate 0.8 exp(-t/tau); Euler carries O(dt) error.
+        exact = 0.8 * np.exp(-100 * DT / 20e-3)
+        assert rkf_state["v"][0] == pytest.approx(exact, rel=1e-5)
+        assert euler_state["v"][0] == pytest.approx(exact, rel=1e-2)
+
+    def test_counts_evaluations(self):
+        model = AdEx()
+        solver = RKF45Solver()
+        state = model.initial_state(2)
+        for _ in range(5):
+            solver.advance(model, state, np.zeros((2, 2)), DT)
+        assert solver.evaluations_per_step() >= 6.0
+
+    def test_fires_and_resets(self):
+        model = LIF()
+        solver = RKF45Solver()
+        state = model.initial_state(1)
+        state["v"][:] = 1.5  # above threshold
+        fired = solver.advance(model, state, np.zeros((2, 1)), DT)
+        assert fired[0]
+        assert state["v"][0] == 0.0
+
+    def test_lid_has_no_continuous_form(self):
+        from repro.models import LLIF
+
+        model = LLIF()
+        solver = RKF45Solver()
+        with pytest.raises(NotImplementedError):
+            solver.advance(model, model.initial_state(1), np.zeros((2, 1)), DT)
+
+    def test_conductance_jump_goes_to_g(self):
+        model = FeatureModel(
+            FeatureSet([Feature.EXD, Feature.COBE]), ModelParameters()
+        )
+        solver = RKF45Solver()
+        state = model.initial_state(1)
+        inputs = np.zeros((2, 1))
+        inputs[0, 0] = 0.5
+        solver.advance(model, state, inputs, DT)
+        assert state["g0"][0] > 0.4  # jumped then decayed slightly
