@@ -1,0 +1,120 @@
+"""Export a machine-readable throughput baseline (``BENCH_engine.json``).
+
+Runs the Euler-solved Table I workloads through the simulation backends
+and records steps/sec for each, so later changes have a perf trajectory
+to compare against:
+
+* ``reference-engine`` — the compiled step-plan fast path (default),
+* ``reference-solver`` — the historical dict-state solver path
+  (``ReferenceBackend(use_engine=False)``), i.e. the seed baseline,
+* ``flexon`` / ``folded-flexon`` — the fixed-point hardware models.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/export.py [--steps N] [--scale S]
+
+Writes ``BENCH_engine.json`` next to this file. Each workload entry
+carries per-backend ``steps_per_sec`` plus the derived
+``engine_speedup`` (engine vs. solver reference path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+from repro.hardware import FlexonBackend, FoldedFlexonBackend
+from repro.network import ReferenceBackend, Simulator
+from repro.workloads import build_workload, get_spec, workload_names
+from repro.workloads.builders import DT
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Hardware compilation covers the feature models; run it where the
+#: reference engine also applies, so every backend sees the same nets.
+BACKENDS = {
+    "reference-engine": lambda: ReferenceBackend("Euler", use_engine=True),
+    "reference-solver": lambda: ReferenceBackend("Euler", use_engine=False),
+    "flexon": lambda: FlexonBackend(dt=DT),
+    "folded-flexon": lambda: FoldedFlexonBackend(dt=DT),
+}
+
+
+def measure(workload: str, backend_factory, steps: int, scale: float) -> dict:
+    """Steps/sec of one backend on one workload (median of 3 reps)."""
+    network = build_workload(workload, scale=scale, seed=5)
+    simulator = Simulator(network, backend_factory(), dt=DT, seed=6)
+    simulator.run(min(20, steps))  # warm-up: lazy plan binding, caches
+    reps = []
+    for _ in range(3):
+        start = time.perf_counter()
+        result = simulator.run(steps, record_spikes=False)
+        reps.append(steps / (time.perf_counter() - start))
+    reps.sort()
+    return {
+        "steps_per_sec": reps[1],
+        "neurons": network.n_neurons,
+        "neuron_updates_per_sec": reps[1] * network.n_neurons,
+        "backend": result.backend_name,
+    }
+
+
+def euler_workloads() -> list:
+    """The Table I workloads the engine fast path applies to."""
+    return [
+        name for name in workload_names() if get_spec(name).solver == "Euler"
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=400)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=OUTPUT
+    )
+    args = parser.parse_args()
+    if args.steps < 1:
+        parser.error("--steps must be >= 1")
+    if args.scale <= 0:
+        parser.error("--scale must be > 0")
+
+    workloads = {}
+    for workload in euler_workloads():
+        entry = {}
+        for key, factory in BACKENDS.items():
+            entry[key] = measure(workload, factory, args.steps, args.scale)
+            print(
+                f"{workload:20s} {key:18s} "
+                f"{entry[key]['steps_per_sec']:10.1f} steps/s"
+            )
+        entry["engine_speedup"] = (
+            entry["reference-engine"]["steps_per_sec"]
+            / entry["reference-solver"]["steps_per_sec"]
+        )
+        print(
+            f"{workload:20s} engine speedup     "
+            f"{entry['engine_speedup']:10.2f}x"
+        )
+        workloads[workload] = entry
+
+    payload = {
+        "dt": DT,
+        "steps": args.steps,
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": workloads,
+        "max_engine_speedup": max(
+            entry["engine_speedup"] for entry in workloads.values()
+        ),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

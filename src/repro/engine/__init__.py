@@ -1,0 +1,35 @@
+"""The engine layer: compile-once/step-many simulation machinery.
+
+This package is the seam between the network description and the code
+that actually advances neuron state. It has three parts:
+
+* :mod:`repro.engine.plan` — ``StepPlan``: a population's
+  ``FeatureSet`` + ``ModelParameters`` + ``dt`` lowered, at prepare
+  time, into a flat update recipe with every per-step scalar
+  precomputed;
+* :mod:`repro.engine.runtime` — ``PopulationRuntime``: the common
+  execution interface every backend (reference, Flexon, folded,
+  event-driven, hybrid) steps populations through, with the
+  plan-driven ``CompiledRuntime`` fast path and the dict-state
+  ``SolverRuntime`` fallback;
+* :mod:`repro.engine.hooks` — ``PhaseHook``: pluggable per-phase
+  instrumentation for the simulator loop.
+"""
+
+from repro.engine.hooks import PHASES, PhaseHook, PhaseStats, PhaseTimer, PhaseTrace
+from repro.engine.plan import StepPlan, compile_step_plan, supports_step_plan
+from repro.engine.runtime import CompiledRuntime, PopulationRuntime, SolverRuntime
+
+__all__ = [
+    "PHASES",
+    "CompiledRuntime",
+    "PhaseHook",
+    "PhaseStats",
+    "PhaseTimer",
+    "PhaseTrace",
+    "PopulationRuntime",
+    "SolverRuntime",
+    "StepPlan",
+    "compile_step_plan",
+    "supports_step_plan",
+]

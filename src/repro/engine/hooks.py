@@ -1,0 +1,84 @@
+"""PhaseHook: pluggable per-phase instrumentation for the simulator.
+
+The three-phase loop (stimulus generation, neuron computation, synapse
+calculation) instruments each phase with wall-clock time and abstract
+operation counts. Rather than hard-coding that bookkeeping in the
+loop, the simulator emits phase events to :class:`PhaseHook` observers;
+the built-in :class:`PhaseTimer` turns them into the
+``SimulationResult.phases`` statistics, and user hooks can layer
+tracing, profiling, or progress reporting on the same stream without
+touching the hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Canonical phase order of one simulated time step (Section II-C).
+PHASES = ("stimulus", "neuron", "synapse")
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated cost of one phase across a run."""
+
+    seconds: float = 0.0
+    operations: int = 0
+
+    def add(self, seconds: float, operations: int) -> None:
+        self.seconds += seconds
+        self.operations += operations
+
+
+class PhaseHook:
+    """Observer of the simulator's per-phase event stream.
+
+    Subclass and override any subset; all default implementations are
+    no-ops. ``on_phase`` is the hot callback — it fires three times per
+    simulated step — so implementations should do O(1) work and defer
+    aggregation to ``on_run_end``.
+    """
+
+    def on_run_start(self, network, n_steps: int) -> None:
+        """Called once before the first step of a ``Simulator.run``."""
+
+    def on_step_start(self, step: int) -> None:
+        """Called at the top of every simulated step."""
+
+    def on_phase(self, phase: str, step: int, seconds: float, operations: int) -> None:
+        """Called after each phase with its wall time and op count."""
+
+    def on_run_end(self, result) -> None:
+        """Called once with the finished ``SimulationResult``."""
+
+
+class PhaseTimer(PhaseHook):
+    """The built-in hook: accumulates per-phase ``PhaseStats``."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, PhaseStats] = {
+            phase: PhaseStats() for phase in PHASES
+        }
+
+    def on_phase(self, phase: str, step: int, seconds: float, operations: int) -> None:
+        self.phases[phase].add(seconds, operations)
+
+
+class PhaseTrace(PhaseHook):
+    """Records every phase event — a debugging/profiling aid.
+
+    Stores ``(step, phase, seconds, operations)`` tuples; useful for
+    inspecting per-step cost evolution (e.g. warm-up effects) rather
+    than run-level aggregates.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[int, str, float, int]] = []
+
+    def on_phase(self, phase: str, step: int, seconds: float, operations: int) -> None:
+        self.events.append((step, phase, seconds, operations))
+
+    def steps_recorded(self) -> int:
+        """Number of distinct steps that produced at least one event."""
+        return len({step for step, *_ in self.events})

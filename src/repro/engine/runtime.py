@@ -1,0 +1,311 @@
+"""PopulationRuntime: the one execution seam every backend runs through.
+
+A :class:`PopulationRuntime` owns one population's state and advances
+it one step per call. The simulator's neuron-computation phase only
+ever talks to this interface, so the reference float path, the
+fixed-point hardware models, and any future executor plug in behind the
+same contract:
+
+* :class:`CompiledRuntime` — the engine fast path: a precompiled
+  :class:`~repro.engine.plan.StepPlan` executed over preallocated
+  structure-of-arrays state with reusable scratch buffers. This is the
+  compile-once/step-many discipline of GeNN-style simulators, and it is
+  bit-identical to ``FeatureModel.step``.
+* :class:`SolverRuntime` — the general path: dict-of-arrays state
+  advanced by a :class:`~repro.solvers.Solver` (forward Euler calling
+  ``model.step``, or RKF45 keeping its smooth/jump split). Models the
+  plan compiler cannot express (Hodgkin-Huxley, native Izhikevich) run
+  here.
+* ``HardwareRuntime`` (in :mod:`repro.hardware.backend`) — quantises
+  inputs and steps a Flexon / folded-Flexon array model.
+
+Registering a new backend therefore means implementing one
+``build_runtime(population)`` hook; see DESIGN.md's "Engine layer".
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.features import Feature
+from repro.models.base import NeuronModel, State
+from repro.models.feature_model import FeatureModel
+from repro.engine.plan import StepPlan, compile_step_plan, supports_step_plan
+from repro.solvers.base import Solver
+
+
+class PopulationRuntime(abc.ABC):
+    """Owns one population's state; advances it one step at a time."""
+
+    def __init__(self, name: str, n: int) -> None:
+        self.name = name
+        self.n = n
+
+    @abc.abstractmethod
+    def advance(self, inputs: np.ndarray, dt: float) -> np.ndarray:
+        """Consume this step's ``(n_synapse_types, n)`` accumulated
+        input, update the state in place, and return the fired mask.
+
+        The returned array may be a reused buffer: consume it (record,
+        ``np.nonzero``) before the next ``advance`` call.
+        """
+
+    @abc.abstractmethod
+    def state(self) -> State:
+        """A float-valued live view of the state (for recording)."""
+
+    def evaluations_per_step(self) -> float:
+        """Solver evaluations charged per step (cost-model input)."""
+        return 1.0
+
+
+class CompiledRuntime(PopulationRuntime):
+    """Executes a precompiled :class:`StepPlan` over SoA state.
+
+    State lives in flat float64 blocks — ``v`` as ``(n,)``, the
+    per-synapse-type conductances as one contiguous ``(types, n)``
+    block — so the per-type Python loop of the dict-state path becomes
+    a single broadcast numpy operation, and every scratch array is
+    allocated once and reused. The plan is compiled on construction
+    when ``dt`` is known, else lazily on the first ``advance`` (and
+    recompiled if the caller ever changes ``dt``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        model: FeatureModel,
+        dt: Optional[float] = None,
+    ) -> None:
+        super().__init__(name, n)
+        if not supports_step_plan(model):
+            raise SimulationError(
+                f"model {model.name!r} cannot be compiled to a step plan"
+            )
+        self.model = model
+        self.advances = 0
+        self._plan: Optional[StepPlan] = None
+        self._kernel: Optional[Callable[[np.ndarray], np.ndarray]] = None
+
+        p = model.parameters
+        f = model.features
+        n_types = p.n_synapse_types
+        self._n_types = n_types
+        # -- structure-of-arrays state ----------------------------------
+        self.v = np.full(n, p.v_rest, dtype=np.float64)
+        self.g = (
+            np.zeros((n_types, n), dtype=np.float64)
+            if f.uses_conductance
+            else None
+        )
+        self.y = (
+            np.zeros((n_types, n), dtype=np.float64)
+            if Feature.COBA in f
+            else None
+        )
+        self.w = (
+            np.zeros(n, dtype=np.float64) if f.has_adaptation_state else None
+        )
+        self.r = np.zeros(n, dtype=np.float64) if Feature.RR in f else None
+        self.cnt = np.zeros(n, dtype=np.float64) if Feature.AR in f else None
+        # Live float views under the canonical dict-state names.
+        views: State = {"v": self.v}
+        if self.g is not None:
+            for i in range(n_types):
+                views[f"g{i}"] = self.g[i]
+        if self.y is not None:
+            for i in range(n_types):
+                views[f"y{i}"] = self.y[i]
+        if self.w is not None:
+            views["w"] = self.w
+        if self.r is not None:
+            views["r"] = self.r
+        if self.cnt is not None:
+            views["cnt"] = self.cnt
+        self._views = views
+        if dt is not None:
+            self._bind(dt)
+
+    # -- plan compilation ------------------------------------------------
+
+    @property
+    def plan(self) -> Optional[StepPlan]:
+        """The currently bound step plan (None before first advance)."""
+        return self._plan
+
+    def _bind(self, dt: float) -> None:
+        self._plan = compile_step_plan(self.model, dt)
+        self._kernel = self._build_kernel(self._plan)
+
+    def _build_kernel(self, plan: StepPlan) -> Callable[[np.ndarray], np.ndarray]:
+        """Close the plan's constants and this runtime's arrays over a
+        flat update function; all feature dispatch happens here, once.
+        """
+        n = self.n
+        n_types = self._n_types
+        v, g, y, w, r, cnt = self.v, self.g, self.y, self.w, self.r, self.cnt
+
+        # Preallocated scratch, reused every step.
+        gated = np.empty((n_types, n)) if plan.use_ar else None
+        ar_gate = np.empty(n, dtype=bool) if plan.use_ar else None
+        ts = np.empty((n_types, n)) if (plan.kernel == "COBA" or plan.use_rev) else None
+        syn = np.empty(n)
+        tmp = np.empty(n)
+        tmp2 = np.empty(n) if plan.use_qdi else None
+        v_new = np.empty(n)
+        fired = np.empty(n, dtype=bool)
+
+        kernel_kind = plan.kernel
+        adaptation = plan.adaptation
+        use_ar, use_rev = plan.use_ar, plan.use_rev
+        use_lid, use_qdi, use_exi = plan.use_lid, plan.use_qdi, plan.use_exi
+        one_minus_eps_g, e_eps_g, v_g = plan.one_minus_eps_g, plan.e_eps_g, plan.v_g
+        eps_m, v_rest, theta = plan.eps_m, plan.v_rest, plan.theta
+        v_c, delta_t, leak_max = plan.v_c, plan.delta_t, plan.leak_max
+        threshold, reset_voltage = plan.threshold, plan.reset_voltage
+        one_minus_eps_w, one_minus_eps_r = plan.one_minus_eps_w, plan.one_minus_eps_r
+        sbt_gain, v_w_target = plan.sbt_gain, plan.v_w
+        v_rr, v_ar, b, q_r = plan.v_rr, plan.v_ar, plan.b, plan.q_r
+        cnt_reload = plan.cnt_reload
+
+        def kernel(inputs: np.ndarray) -> np.ndarray:
+            # In-place augmented assignments below would otherwise make
+            # these closure names local (and unbound) inside the kernel.
+            nonlocal g, y, w, r, syn, tmp, ts, v_new
+            # 1. absolute refractory gates the inputs of silenced neurons
+            if use_ar:
+                np.less_equal(cnt, 0.0, out=ar_gate)
+                np.multiply(inputs, ar_gate, out=gated)
+                x = gated
+            else:
+                x = inputs
+
+            # 2-3. synaptic kernels and reversal scaling (old v)
+            if kernel_kind == "COBA":
+                y *= one_minus_eps_g
+                y += x
+                g *= one_minus_eps_g
+                np.multiply(y, e_eps_g, out=ts)
+                g += ts
+                contribution = g
+            elif kernel_kind == "COBE":
+                g *= one_minus_eps_g
+                g += x
+                contribution = g
+            else:  # CUB: instantaneous, no stored conductance
+                contribution = x
+            if use_rev:
+                np.subtract(v_g, v, out=ts)
+                ts *= contribution
+                np.sum(ts, axis=0, out=syn)
+            else:
+                np.sum(contribution, axis=0, out=syn)
+
+            # 4-5. membrane update
+            if use_lid:
+                np.subtract(v, v_rest, out=tmp)
+                np.maximum(tmp, 0.0, out=tmp)
+                np.minimum(tmp, leak_max, out=tmp)
+                np.add(v, syn, out=v_new)
+                v_new -= tmp
+            else:
+                np.subtract(v_rest, v, out=tmp)
+                syn += tmp  # syn now holds the drive
+                if use_qdi:
+                    np.subtract(v_c, v, out=tmp2)
+                    tmp *= tmp2
+                    syn += tmp
+                elif use_exi:
+                    np.subtract(v, theta, out=tmp)
+                    tmp /= delta_t
+                    np.exp(tmp, out=tmp)
+                    tmp *= delta_t
+                    syn += tmp
+                syn *= eps_m
+                np.add(v, syn, out=v_new)
+
+            # 6. spike-triggered current / relative refractory (old v)
+            if adaptation == "RR":
+                w *= one_minus_eps_w
+                r *= one_minus_eps_r
+                np.subtract(v_rr, v, out=tmp)
+                tmp *= r
+                v_new += tmp
+                np.subtract(v_ar, v, out=tmp)
+                tmp *= w
+                v_new += tmp
+            elif adaptation == "SBT":
+                w *= one_minus_eps_w
+                np.subtract(v, v_w_target, out=tmp)
+                tmp *= sbt_gain
+                w += tmp
+                v_new += w
+            elif adaptation == "ADT":
+                w *= one_minus_eps_w
+                v_new += w
+
+            # 7. fire & reset
+            np.greater(v_new, threshold, out=fired)
+            v_new[fired] = reset_voltage
+            if adaptation == "RR":
+                w[fired] += b
+                r[fired] += q_r
+            elif adaptation is not None:
+                w[fired] -= b
+            if use_ar:
+                np.subtract(cnt, 1.0, out=cnt)
+                np.maximum(cnt, 0.0, out=cnt)
+                cnt[fired] = cnt_reload
+            v[:] = v_new
+            return fired
+
+        return kernel
+
+    # -- PopulationRuntime interface --------------------------------------
+
+    def advance(self, inputs: np.ndarray, dt: float) -> np.ndarray:
+        if self._plan is None or dt != self._plan.dt:
+            self._bind(dt)
+        if inputs.shape != (self._n_types, self.n):
+            raise SimulationError(
+                f"expected inputs of shape {(self._n_types, self.n)}, "
+                f"got {inputs.shape}"
+            )
+        self.advances += 1
+        return self._kernel(inputs)
+
+    def state(self) -> State:
+        return self._views
+
+    def load_state(self, state: State) -> None:
+        """Overwrite the SoA blocks from a dict-state snapshot."""
+        for name, values in state.items():
+            self._views[name][:] = values
+
+
+class SolverRuntime(PopulationRuntime):
+    """Dict-state fallback: a software solver advancing ``model.step``
+    (Euler) or the smooth/jump split (RKF45). This is the seed
+    reference-backend path, kept verbatim for models without a step
+    plan and for adaptive integration.
+    """
+
+    def __init__(self, name: str, n: int, model: NeuronModel, solver: Solver):
+        super().__init__(name, n)
+        self.model = model
+        self.solver = solver
+        self._state = model.initial_state(n)
+
+    def advance(self, inputs: np.ndarray, dt: float) -> np.ndarray:
+        return self.solver.advance(self.model, self._state, inputs, dt)
+
+    def state(self) -> State:
+        return self._state
+
+    def evaluations_per_step(self) -> float:
+        return self.solver.evaluations_per_step()

@@ -57,13 +57,22 @@ def profile_workload(
     steps: int = 400,
     seed: int = 1,
     solver: Optional[str] = None,
+    use_engine: bool = True,
 ) -> WorkloadProfile:
-    """Run one workload briefly and extract its per-unit activity."""
+    """Run one workload briefly and extract its per-unit activity.
+
+    ``use_engine=False`` profiles on the dict-state solver path instead
+    of the compiled step-plan path; the measured activity is identical
+    (the two are spike-identical), only wall-clock differs.
+    """
     spec = get_spec(name)
     network = build_workload(name, scale=scale, seed=seed)
     solver_name = solver if solver is not None else spec.solver
     simulator = Simulator(
-        network, ReferenceBackend(solver_name), dt=DT, seed=seed + 1
+        network,
+        ReferenceBackend(solver_name, use_engine=use_engine),
+        dt=DT,
+        seed=seed + 1,
     )
     result = simulator.run(steps)
     duration = steps * DT

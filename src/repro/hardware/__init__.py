@@ -33,13 +33,20 @@ from repro.hardware.microcode import Microprogram, assemble
 from repro.hardware.folded import FoldedFlexonNeuron
 from repro.hardware.array import FlexonArray, FoldedFlexonArray
 from repro.hardware.compiler import FlexonCompiler, CompiledModel
-from repro.hardware.backend import FlexonBackend, FoldedFlexonBackend, HybridBackend
+from repro.hardware.backend import (
+    FlexonBackend,
+    FoldedFlexonBackend,
+    HardwareRuntime,
+    HybridBackend,
+)
+from repro.hardware.event_driven import EventDrivenFlexonBackend
 
 __all__ = [
     "AOperand",
     "BOperand",
     "CompiledModel",
     "ControlSignal",
+    "EventDrivenFlexonBackend",
     "FlexonArray",
     "FlexonBackend",
     "FlexonCompiler",
@@ -47,6 +54,7 @@ __all__ = [
     "FoldedFlexonArray",
     "FoldedFlexonBackend",
     "FoldedFlexonNeuron",
+    "HardwareRuntime",
     "HybridBackend",
     "Microprogram",
     "NeuronConstants",

@@ -7,32 +7,81 @@ neuron computation only), while each population's neuron updates run on
 a :class:`~repro.hardware.flexon.FlexonNeuron` or
 :class:`~repro.hardware.folded.FoldedFlexonNeuron` array model.
 
+All of them execute through the engine layer's
+:class:`~repro.engine.runtime.PopulationRuntime` seam:
+:class:`HardwareRuntime` adapts one compiled array model — quantise the
+accumulated input, step the fixed-point datapaths — so the hardware
+backends share the exact per-step arithmetic they had before the
+refactor (the flexon/folded bit-identity tests pin this down).
+
 :class:`HybridBackend` implements the Section VII-A fallback: models
 the compiler cannot express (e.g. Hodgkin-Huxley) stay on the
-general-purpose reference backend, while supported populations are
+general-purpose software solver, while supported populations are
 offloaded to Flexon — the paper's mixed AdEx + HH scenario.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.engine.runtime import PopulationRuntime, SolverRuntime
 from repro.errors import SimulationError
 from repro.fixedpoint import fx_from_float
 from repro.hardware.compiler import CompiledModel, FlexonCompiler
 from repro.hardware.flexon import FlexonNeuron
-from repro.hardware.folded import FoldedFlexonNeuron
 from repro.models.base import State
-from repro.network.backends import Backend
-from repro.network.network import Network
-from repro.solvers import Solver, create_solver
-
-_HardwareNeuron = Union[FlexonNeuron, FoldedFlexonNeuron]
+from repro.network.backends import RuntimeBackend
+from repro.network.population import Population
+from repro.solvers import create_solver
 
 
-class _HardwareBackendBase(Backend):
+class HardwareRuntime(PopulationRuntime):
+    """One population on a digital-neuron array model.
+
+    Owns the compiled model and the (baseline or folded) functional
+    array; ``advance`` pre-scales and quantises the host-side float
+    inputs exactly as the seed backends did, then runs one hardware
+    step. The dt the constants were baked for is enforced per call.
+    """
+
+    def __init__(
+        self, name: str, n: int, compiled: CompiledModel, dt: float, folded: bool
+    ):
+        super().__init__(name, n)
+        self.compiled = compiled
+        self.dt = dt
+        self.folded = folded
+        self.neuron = (
+            compiled.instantiate_folded(n)
+            if folded
+            else compiled.instantiate_flexon(n)
+        )
+
+    def advance(self, inputs: np.ndarray, dt: float) -> np.ndarray:
+        if abs(dt - self.dt) > 1e-15:
+            raise SimulationError(
+                f"backend compiled for dt={self.dt}, asked to step dt={dt}; "
+                "constants are baked per time step"
+            )
+        raw = fx_from_float(
+            inputs * self.compiled.weight_scale, self.compiled.constants.fmt
+        )
+        return self.neuron.step(raw)
+
+    def state(self) -> State:
+        return self.neuron.float_state()
+
+    @property
+    def cycles_per_neuron(self) -> int:
+        """Pipeline occupancy per logical neuron for one step."""
+        if self.folded:
+            return self.compiled.cycles_per_neuron_folded
+        return FlexonNeuron.CYCLES_PER_NEURON
+
+
+class _HardwareBackendBase(RuntimeBackend):
     """Shared compile/advance plumbing of the two hardware backends."""
 
     folded = False
@@ -42,44 +91,23 @@ class _HardwareBackendBase(Backend):
         self.dt = dt
         self.compiler = compiler if compiler is not None else FlexonCompiler()
         self.compiled: Dict[str, CompiledModel] = {}
-        self._neurons: Dict[str, _HardwareNeuron] = {}
 
-    def prepare(self, network: Network) -> None:
-        self.network = network
+    def prepare(self, network) -> None:
         self.compiled = {}
-        self._neurons = {}
-        for name, population in network.populations.items():
-            compiled = self.compiler.compile(population.model, self.dt)
-            self.compiled[name] = compiled
-            if self.folded:
-                self._neurons[name] = compiled.instantiate_folded(population.n)
-            else:
-                self._neurons[name] = compiled.instantiate_flexon(population.n)
+        super().prepare(network)
 
-    def advance(self, population: str, inputs: np.ndarray, dt: float) -> np.ndarray:
-        if population not in self._neurons:
-            raise SimulationError(f"unknown population {population!r}")
-        if abs(dt - self.dt) > 1e-15:
-            raise SimulationError(
-                f"backend compiled for dt={self.dt}, asked to step dt={dt}; "
-                "constants are baked per time step"
-            )
-        compiled = self.compiled[population]
-        raw = fx_from_float(
-            inputs * compiled.weight_scale, compiled.constants.fmt
+    def build_runtime(self, population: Population) -> PopulationRuntime:
+        compiled = self.compiler.compile(population.model, self.dt)
+        self.compiled[population.name] = compiled
+        return HardwareRuntime(
+            population.name, population.n, compiled, self.dt, self.folded
         )
-        return self._neurons[population].step(raw)
-
-    def state_of(self, population: str) -> State:
-        if population not in self._neurons:
-            raise SimulationError(f"unknown population {population!r}")
-        return self._neurons[population].float_state()
 
     def cycles_per_neuron(self, population: str) -> int:
         """Pipeline occupancy per logical neuron for one step."""
-        if self.folded:
-            return self.compiled[population].cycles_per_neuron_folded
-        return FlexonNeuron.CYCLES_PER_NEURON
+        runtime = self.runtime(population)
+        assert isinstance(runtime, HardwareRuntime)
+        return runtime.cycles_per_neuron
 
 
 class FlexonBackend(_HardwareBackendBase):
@@ -96,13 +124,16 @@ class FoldedFlexonBackend(_HardwareBackendBase):
     name = "folded-flexon"
 
 
-class HybridBackend(Backend):
+class HybridBackend(RuntimeBackend):
     """Flexon for supported models, reference solver for the rest.
 
     The Section VII-A scenario: "when an SNN consists of both the
     supported and the unsupported neuron models (e.g., a mixture of
     AdEx and HH), we can still accelerate SNN simulations by offloading
-    the supported neuron models to Flexon."
+    the supported neuron models to Flexon." With the runtime seam the
+    split is per population: supported ones get a
+    :class:`HardwareRuntime`, the rest a software
+    :class:`~repro.engine.runtime.SolverRuntime`.
     """
 
     name = "hybrid"
@@ -117,50 +148,29 @@ class HybridBackend(Backend):
         super().__init__()
         self.dt = dt
         self.solver_name = solver
+        self.folded = folded
         self.compiler = compiler if compiler is not None else FlexonCompiler()
-        self._hardware: _HardwareBackendBase = (
-            FoldedFlexonBackend(dt, self.compiler)
-            if folded
-            else FlexonBackend(dt, self.compiler)
-        )
-        self._software_states: Dict[str, State] = {}
-        self._software_solvers: Dict[str, Solver] = {}
         self.offloaded: Dict[str, bool] = {}
 
-    def prepare(self, network: Network) -> None:
-        self.network = network
-        self._software_states = {}
-        self._software_solvers = {}
+    def prepare(self, network) -> None:
         self.offloaded = {}
-        hardware_network = Network(f"{network.name}-hw")
-        for name, population in network.populations.items():
-            if self.compiler.supports(population.model):
-                hardware_network.add_population(
-                    name, population.n, population.model
-                )
-                self.offloaded[name] = True
-            else:
-                self._software_states[name] = population.model.initial_state(
-                    population.n
-                )
-                self._software_solvers[name] = create_solver(self.solver_name)
-                self.offloaded[name] = False
-        self._hardware.prepare(hardware_network)
+        super().prepare(network)
 
-    def advance(self, population: str, inputs: np.ndarray, dt: float) -> np.ndarray:
-        if self.offloaded.get(population):
-            return self._hardware.advance(population, inputs, dt)
-        if population not in self._software_states:
-            raise SimulationError(f"unknown population {population!r}")
-        model = self.network.populations[population].model
-        return self._software_solvers[population].advance(
-            model, self._software_states[population], inputs, dt
+    def build_runtime(self, population: Population) -> PopulationRuntime:
+        model = population.model
+        if self.compiler.supports(model):
+            self.offloaded[population.name] = True
+            compiled = self.compiler.compile(model, self.dt)
+            return HardwareRuntime(
+                population.name, population.n, compiled, self.dt, self.folded
+            )
+        self.offloaded[population.name] = False
+        return SolverRuntime(
+            population.name,
+            population.n,
+            model,
+            create_solver(self.solver_name),
         )
-
-    def state_of(self, population: str) -> State:
-        if self.offloaded.get(population):
-            return self._hardware.state_of(population)
-        return self._software_states[population]
 
     def offloaded_fraction(self) -> float:
         """Fraction of neurons running on the digital-neuron array."""

@@ -16,6 +16,10 @@ neuron as active/idle per step, and accumulates the activity factor;
 :func:`event_driven_power` scales a design's dynamic power by it. The
 skip-is-identity invariant is verified by tests, so counting (rather
 than literally skipping) is a sound energy model.
+:class:`EventDrivenFlexonBackend` lifts the monitor to a full network
+backend through the engine layer's ``PopulationRuntime`` seam, so
+whole-workload activity factors can be measured with the ordinary
+three-phase simulator.
 """
 
 from __future__ import annotations
@@ -25,7 +29,10 @@ from typing import Union
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.features import Feature, FeatureSet
+from repro.fixedpoint import fx_from_float
+from repro.hardware.backend import HardwareRuntime, _HardwareBackendBase
 from repro.hardware.flexon import FlexonNeuron
 from repro.hardware.folded import FoldedFlexonNeuron
 
@@ -101,6 +108,71 @@ class EventDrivenMonitor:
     def last_idle_mask(self) -> np.ndarray:
         """The idle classification of the most recent step."""
         return self._last_idle
+
+
+class EventDrivenRuntime(HardwareRuntime):
+    """A hardware runtime whose every step is activity-classified.
+
+    Identical numerics to :class:`HardwareRuntime` (the monitor only
+    observes), with the population's activity factor accumulated across
+    the run — the quantity :func:`event_driven_power` consumes.
+    """
+
+    def __init__(self, name, n, compiled, dt, folded):
+        super().__init__(name, n, compiled, dt, folded)
+        self.monitor = EventDrivenMonitor(self.neuron)
+
+    def advance(self, inputs: np.ndarray, dt: float) -> np.ndarray:
+        if abs(dt - self.dt) > 1e-15:
+            raise SimulationError(
+                f"backend compiled for dt={self.dt}, asked to step dt={dt}; "
+                "constants are baked per time step"
+            )
+        raw = fx_from_float(
+            inputs * self.compiled.weight_scale, self.compiled.constants.fmt
+        )
+        return self.monitor.step(raw)
+
+    @property
+    def activity_factor(self) -> float:
+        return self.monitor.activity_factor
+
+
+class EventDrivenFlexonBackend(_HardwareBackendBase):
+    """Flexon backend that tracks per-population activity factors.
+
+    Spike trains are bit-identical to :class:`~repro.hardware.backend.
+    FlexonBackend` / :class:`~repro.hardware.backend.FoldedFlexonBackend`
+    (classification is observation-only); on top it reports which
+    fraction of neuron updates actually needed computing — the
+    event-driven energy model of the paper's LLIF discussion.
+    """
+
+    name = "event-driven-flexon"
+
+    def __init__(self, dt: float = 1e-4, folded: bool = False, compiler=None):
+        super().__init__(dt, compiler)
+        self.folded = folded
+
+    def build_runtime(self, population):
+        compiled = self.compiler.compile(population.model, self.dt)
+        self.compiled[population.name] = compiled
+        return EventDrivenRuntime(
+            population.name, population.n, compiled, self.dt, self.folded
+        )
+
+    def activity_factor(self, population: str) -> float:
+        """Fraction of one population's updates that were active."""
+        runtime = self.runtime(population)
+        assert isinstance(runtime, EventDrivenRuntime)
+        return runtime.activity_factor
+
+    def activity_factors(self) -> dict:
+        """Activity factor of every prepared population."""
+        return {
+            name: runtime.activity_factor
+            for name, runtime in self.runtimes.items()
+        }
 
 
 def event_driven_power(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -111,6 +112,67 @@ class ModelParameters:
     def refractory_steps(self, dt: float) -> int:
         """AR counter reload value cnt_max for the given time step."""
         return max(1, int(round(self.t_ref / dt)))
+
+    def derived(self, dt: float) -> "DerivedConstants":
+        """The per-step constants this parameter set lowers to at ``dt``.
+
+        This is the feature-lowering entry point: everything a per-step
+        update kernel needs that does not depend on the population state
+        is folded into one cached bundle, so neither the float models
+        nor the compiled engine plans recompute ``dt / tau`` (and
+        friends) on every step. The arithmetic matches the historical
+        inline expressions exactly, so cached and uncached paths are
+        bit-identical.
+        """
+        return _derive_constants(self, dt)
+
+
+@dataclass(frozen=True)
+class DerivedConstants:
+    """Per-step scalars lowered from a ``ModelParameters`` at a fixed dt.
+
+    Products such as ``one_minus_eps_g`` are precomputed in the exact
+    float64 expression order used by
+    :meth:`~repro.models.feature_model.FeatureModel.step`, which is what
+    lets the compiled engine kernels stay bit-identical to the
+    dict-state reference path.
+    """
+
+    dt: float
+    eps_m: float
+    eps_g: Tuple[float, ...]
+    one_minus_eps_g: Tuple[float, ...]
+    eps_w: float
+    one_minus_eps_w: float
+    eps_r: float
+    one_minus_eps_r: float
+    #: LID decrement per step (``leak_rate * dt``).
+    leak_max: float
+    #: SBT subthreshold gain per step (``eps_m * a``).
+    sbt_gain: float
+    #: AR counter reload value.
+    cnt_reload: int
+
+
+@lru_cache(maxsize=512)
+def _derive_constants(parameters: ModelParameters, dt: float) -> DerivedConstants:
+    eps_m = parameters.eps_m(dt)
+    eps_g = parameters.eps_g(dt)
+    eps_w = parameters.eps_w(dt)
+    eps_r = parameters.eps_r(dt)
+    return DerivedConstants(
+        dt=dt,
+        eps_m=eps_m,
+        eps_g=eps_g,
+        one_minus_eps_g=tuple(1.0 - e for e in eps_g),
+        eps_w=eps_w,
+        one_minus_eps_w=1.0 - eps_w,
+        eps_r=eps_r,
+        one_minus_eps_r=1.0 - eps_r,
+        leak_max=parameters.leak_rate * dt,
+        sbt_gain=eps_m * parameters.a,
+        cnt_reload=parameters.refractory_steps(dt),
+    )
 
 
 class NeuronModel(abc.ABC):

@@ -85,8 +85,9 @@ class FeatureModel(NeuronModel):
             raise SimulationError(
                 f"input width {inputs.shape[1]} != population size {v.shape[0]}"
             )
-        eps_m = p.eps_m(dt)
-        eps_g = p.eps_g(dt)
+        d = p.derived(dt)
+        eps_m = d.eps_m
+        eps_g = d.eps_g
 
         # 1. absolute refractory gates the inputs of silenced neurons
         if Feature.AR in f:
@@ -122,7 +123,7 @@ class FeatureModel(NeuronModel):
         if Feature.LID in f:
             # Linear decay clamps at the resting voltage: the decrement
             # never pulls v below v_rest (Figure 4's steady state).
-            leak = np.minimum(p.leak_rate * dt, np.maximum(v - p.v_rest, 0.0))
+            leak = np.minimum(d.leak_max, np.maximum(v - p.v_rest, 0.0))
             v_new = v + syn - leak
         else:
             drive = syn + (p.v_rest - v)
@@ -136,17 +137,17 @@ class FeatureModel(NeuronModel):
         if Feature.RR in f:
             w = state["w"]
             r = state["r"]
-            w *= 1.0 - p.eps_w(dt)
-            r *= 1.0 - p.eps_r(dt)
+            w *= d.one_minus_eps_w
+            r *= d.one_minus_eps_r
             v_new = v_new + r * (p.v_rr - v) + w * (p.v_ar - v)
         elif Feature.SBT in f:
             w = state["w"]
-            w *= 1.0 - p.eps_w(dt)
-            w += eps_m * p.a * (v - p.v_w)
+            w *= d.one_minus_eps_w
+            w += d.sbt_gain * (v - p.v_w)
             v_new = v_new + w
         elif Feature.ADT in f:
             w = state["w"]
-            w *= 1.0 - p.eps_w(dt)
+            w *= d.one_minus_eps_w
             v_new = v_new + w
 
         # 7. fire & reset
@@ -168,7 +169,7 @@ class FeatureModel(NeuronModel):
         if Feature.AR in f:
             cnt = state["cnt"]
             np.maximum(cnt - 1.0, 0.0, out=cnt)
-            cnt[fired] = float(p.refractory_steps(dt))
+            cnt[fired] = float(d.cnt_reload)
         state["v"] = v_new
         return fired
 

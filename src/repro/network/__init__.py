@@ -16,18 +16,29 @@ from repro.network.stimulus import PatternStimulus, PoissonStimulus, Stimulus
 from repro.network.spike_queue import SpikeQueue
 from repro.network.recorder import SpikeRecord, SpikeRecorder, StateRecorder
 from repro.network.network import Network
-from repro.network.backends import Backend, ReferenceBackend
-from repro.network.simulator import PhaseStats, SimulationResult, Simulator
+from repro.network.backends import Backend, ReferenceBackend, RuntimeBackend
+from repro.network.simulator import (
+    PHASES,
+    PhaseStats,
+    SimulationResult,
+    Simulator,
+)
+from repro.engine.hooks import PhaseHook, PhaseTimer, PhaseTrace
 
 __all__ = [
     "Backend",
     "Network",
+    "PHASES",
     "PatternStimulus",
+    "PhaseHook",
     "PhaseStats",
+    "PhaseTimer",
+    "PhaseTrace",
     "PoissonStimulus",
     "Population",
     "Projection",
     "ReferenceBackend",
+    "RuntimeBackend",
     "SimulationResult",
     "Simulator",
     "SpikeQueue",

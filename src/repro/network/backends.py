@@ -3,10 +3,22 @@
 The paper's framing is that the three phases of a time step are fixed,
 but *where* neuron computation runs differs: on the CPU/GPU (NEST,
 GeNN), or on a digital-neuron array. A :class:`Backend` owns the state
-of every population and advances it one step at a time; the reference
-backend here uses the float models and a software solver, and the
-hardware backends in :mod:`repro.hardware.backend` run the fixed-point
-Flexon models instead.
+of every population and advances it one step at a time.
+
+Since the engine refactor every backend in the repo executes through
+one seam: :class:`RuntimeBackend` materialises a
+:class:`~repro.engine.runtime.PopulationRuntime` per population at
+``prepare`` time, and ``advance``/``state_of`` simply delegate to it.
+Registering a new backend means subclassing :class:`RuntimeBackend`
+and implementing the single ``build_runtime`` hook.
+
+:class:`ReferenceBackend` is the float64 software backend — our
+stand-in for Brian/NEST. With the Euler solver it compiles each
+supported population into a
+:class:`~repro.engine.runtime.CompiledRuntime` step plan (the
+compile-once/step-many fast path, bit-identical to ``model.step``);
+RKF45 populations and models without a plan run on the dict-state
+:class:`~repro.engine.runtime.SolverRuntime` exactly as before.
 """
 
 from __future__ import annotations
@@ -16,10 +28,17 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.engine.runtime import (
+    CompiledRuntime,
+    PopulationRuntime,
+    SolverRuntime,
+)
+from repro.engine.plan import supports_step_plan
 from repro.errors import SimulationError
 from repro.models.base import State
 from repro.network.network import Network
-from repro.solvers import Solver, create_solver
+from repro.network.population import Population
+from repro.solvers import create_solver
 
 
 class Backend(abc.ABC):
@@ -47,46 +66,83 @@ class Backend(abc.ABC):
         return 1.0
 
 
-class ReferenceBackend(Backend):
-    """Float64 software backend — our stand-in for Brian/NEST.
+class RuntimeBackend(Backend):
+    """Base class for backends that execute through population runtimes.
 
-    One solver instance per population (they keep independent
-    evaluation counters). The solver kind applies network-wide, which
-    matches how Table I labels each workload "Euler" or "RKF45".
+    ``prepare`` builds one :class:`PopulationRuntime` per population via
+    the subclass's :meth:`build_runtime` hook; everything else is shared
+    delegation (with the same error behaviour the seed backends had).
     """
 
-    def __init__(self, solver: str = "Euler"):
+    def __init__(self) -> None:
         super().__init__()
-        self.solver_name = solver
-        self.name = f"reference-{solver.lower()}"
-        self._states: Dict[str, State] = {}
-        self._solvers: Dict[str, Solver] = {}
+        self._runtimes: Dict[str, PopulationRuntime] = {}
+
+    @abc.abstractmethod
+    def build_runtime(self, population: Population) -> PopulationRuntime:
+        """Materialise the execution engine for one population."""
 
     def prepare(self, network: Network) -> None:
         self.network = network
-        self._states = {}
-        self._solvers = {}
-        for name, population in network.populations.items():
-            self._states[name] = population.model.initial_state(population.n)
-            self._solvers[name] = create_solver(self.solver_name)
+        self._runtimes = {
+            name: self.build_runtime(population)
+            for name, population in network.populations.items()
+        }
 
-    def _check_prepared(self, population: str) -> None:
+    def runtime(self, population: str) -> PopulationRuntime:
+        """The live runtime of one population (errors match the seed)."""
         if self.network is None:
             raise SimulationError("backend not prepared; call prepare() first")
-        if population not in self._states:
-            raise SimulationError(f"unknown population {population!r}")
+        try:
+            return self._runtimes[population]
+        except KeyError:
+            raise SimulationError(
+                f"unknown population {population!r}"
+            ) from None
+
+    @property
+    def runtimes(self) -> Dict[str, PopulationRuntime]:
+        """All population runtimes, keyed by population name."""
+        return self._runtimes
 
     def advance(self, population: str, inputs: np.ndarray, dt: float) -> np.ndarray:
-        self._check_prepared(population)
-        model = self.network.populations[population].model
-        return self._solvers[population].advance(
-            model, self._states[population], inputs, dt
-        )
+        return self.runtime(population).advance(inputs, dt)
 
     def state_of(self, population: str) -> State:
-        self._check_prepared(population)
-        return self._states[population]
+        return self.runtime(population).state()
 
     def evaluations_per_step(self, population: str) -> float:
-        self._check_prepared(population)
-        return self._solvers[population].evaluations_per_step()
+        return self.runtime(population).evaluations_per_step()
+
+
+class ReferenceBackend(RuntimeBackend):
+    """Float64 software backend — our stand-in for Brian/NEST.
+
+    One runtime per population (they keep independent evaluation
+    counters). The solver kind applies network-wide, which matches how
+    Table I labels each workload "Euler" or "RKF45". ``use_engine``
+    selects between the compiled step-plan fast path (default) and the
+    historical dict-state solver path; the two produce identical spike
+    trains, and the flag exists so benchmarks can compare them.
+    """
+
+    def __init__(self, solver: str = "Euler", use_engine: bool = True):
+        super().__init__()
+        self.solver_name = solver
+        self.use_engine = use_engine
+        self.name = f"reference-{solver.lower()}"
+
+    def build_runtime(self, population: Population) -> PopulationRuntime:
+        model = population.model
+        if (
+            self.use_engine
+            and self.solver_name.lower() == "euler"
+            and supports_step_plan(model)
+        ):
+            return CompiledRuntime(population.name, population.n, model)
+        return SolverRuntime(
+            population.name,
+            population.n,
+            model,
+            create_solver(self.solver_name),
+        )

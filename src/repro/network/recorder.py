@@ -51,7 +51,12 @@ class SpikeRecorder:
 
     def record(self, population: str, step: int, fired: np.ndarray) -> None:
         """Record the fired mask of one population at one step."""
-        idx = np.nonzero(fired)[0]
+        self.record_indices(population, step, np.nonzero(fired)[0])
+
+    def record_indices(
+        self, population: str, step: int, idx: np.ndarray
+    ) -> None:
+        """Record already-extracted fired indices (no mask scan)."""
         if idx.size == 0:
             return
         self._steps.setdefault(population, []).append(

@@ -11,44 +11,55 @@ Each simulated time step runs:
    neuron through each projection, and their synaptic weights are
    accumulated into the input slots ``delay`` steps ahead.
 
-The simulator instruments each phase with wall-clock time and with
-abstract operation counts (neuron updates, synaptic events, stimulus
-events); the Figure 3 / Figure 13 cost models consume the counts, and
-the wall-clock numbers feed the pytest benchmarks.
+The loop itself follows the engine layer's compile-once/step-many
+discipline: the per-step schedule (stimulus routing, population order,
+projection fan-out, plasticity bindings) is resolved once per run, and
+input/fired buffers are reused rather than reallocated. Per-phase
+wall-clock time and abstract operation counts are emitted through the
+:class:`~repro.engine.hooks.PhaseHook` API; the built-in
+:class:`~repro.engine.hooks.PhaseTimer` feeds the Figure 3 / Figure 13
+cost models and the pytest benchmarks, and callers can attach their own
+hooks for tracing or profiling. Each op count has exactly one counting
+path: the phase stats are the source of truth, and the result's
+convenience counters are derived from them, so "neuron updates" can
+never drift from the neuron phase's operation count. State-recorder
+sampling is timed separately (``SimulationResult.recording_seconds``)
+and deliberately charged to *no* phase — it is measurement overhead,
+not simulation work — so phase fractions both sum to one and reflect
+only the three real phases.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.hooks import PHASES, PhaseHook, PhaseStats, PhaseTimer
 from repro.errors import SimulationError
 from repro.network.backends import Backend, ReferenceBackend
 from repro.network.network import Network
 from repro.network.recorder import SpikeRecorder, StateRecorder
 from repro.network.spike_queue import SpikeQueue
 
-PHASES = ("stimulus", "neuron", "synapse")
-
-
-@dataclass
-class PhaseStats:
-    """Accumulated cost of one phase across a run."""
-
-    seconds: float = 0.0
-    operations: int = 0
-
-    def add(self, seconds: float, operations: int) -> None:
-        self.seconds += seconds
-        self.operations += operations
+__all__ = [
+    "PHASES",
+    "PhaseStats",
+    "SimulationResult",
+    "Simulator",
+]
 
 
 @dataclass
 class SimulationResult:
-    """Everything a run produced: spikes, per-phase costs, counters."""
+    """Everything a run produced: spikes, per-phase costs, counters.
+
+    The convenience counters (``neuron_updates``, ``synaptic_events``,
+    ``stimulus_events``) are exactly the operation counts of their
+    phases — one counting path, no independent tallies.
+    """
 
     network_name: str
     backend_name: str
@@ -56,10 +67,24 @@ class SimulationResult:
     dt: float
     spikes: SpikeRecorder
     phases: Dict[str, PhaseStats]
-    neuron_updates: int
-    synaptic_events: int
-    stimulus_events: int
     evaluations_per_step: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock spent sampling state recorders; charged to no phase.
+    recording_seconds: float = 0.0
+
+    @property
+    def neuron_updates(self) -> int:
+        """Total neuron updates (the neuron phase's op count)."""
+        return self.phases["neuron"].operations
+
+    @property
+    def synaptic_events(self) -> int:
+        """Total synaptic events (the synapse phase's op count)."""
+        return self.phases["synapse"].operations
+
+    @property
+    def stimulus_events(self) -> int:
+        """Total stimulus events (the stimulus phase's op count)."""
+        return self.phases["stimulus"].operations
 
     @property
     def total_seconds(self) -> float:
@@ -102,6 +127,41 @@ class Simulator:
         }
         self._step = 0
 
+    # -- schedule compilation -------------------------------------------------
+
+    def _compile_schedule(self):
+        """Resolve the per-step work lists once, outside the hot loop.
+
+        Everything the loop needs per step — which queue a stimulus
+        feeds, each population's queue and size, where a projection's
+        spikes land, which recorded populations a plasticity rule
+        reads — is bound here so the loop performs no dict lookups or
+        attribute chasing of its own.
+        """
+        network = self.network
+        stimuli = [
+            (stimulus, self._queues[stimulus.target.name], stimulus.syn_type)
+            for stimulus in network.stimuli
+        ]
+        populations = [
+            (name, self._queues[name], pop.n)
+            for name, pop in network.populations.items()
+        ]
+        projections = [
+            (
+                projection,
+                projection.pre.name,
+                self._queues[projection.post.name],
+                projection.syn_type,
+            )
+            for projection in network.projections
+        ]
+        plasticity = [
+            (rule, rule.projection.pre.name, rule.projection.post.name)
+            for rule in network.plasticity_rules
+        ]
+        return stimuli, populations, projections, plasticity
+
     # -- main loop ------------------------------------------------------------
 
     def run(
@@ -109,89 +169,107 @@ class Simulator:
         n_steps: int,
         record_spikes: bool = True,
         state_recorders: Sequence[StateRecorder] = (),
+        hooks: Sequence[PhaseHook] = (),
     ) -> SimulationResult:
-        """Simulate ``n_steps`` time steps and return the results."""
+        """Simulate ``n_steps`` time steps and return the results.
+
+        ``hooks`` receive the per-phase event stream (see
+        :class:`~repro.engine.hooks.PhaseHook`); the built-in timer
+        that produces ``result.phases`` is always attached.
+        """
         if n_steps < 0:
             raise SimulationError(f"n_steps must be non-negative, got {n_steps}")
         recorder = SpikeRecorder()
-        phases = {phase: PhaseStats() for phase in PHASES}
-        neuron_updates = 0
-        synaptic_events = 0
-        stimulus_events = 0
-        pop_names = list(self.network.populations)
+        timer = PhaseTimer()
+        all_hooks: Tuple[PhaseHook, ...] = (timer, *hooks)
+        stimuli, populations, projections, plasticity = self._compile_schedule()
+        recorder_bindings = [
+            (state_recorder, state_recorder.population)
+            for state_recorder in state_recorders
+        ]
+        recording_seconds = 0.0
+        fired_index: Dict[str, np.ndarray] = {}
+        perf_counter = time.perf_counter
+        dt = self.dt
+        backend_advance = self.backend.advance
+
+        for hook in all_hooks:
+            hook.on_run_start(self.network, n_steps)
 
         for _ in range(n_steps):
+            step = self._step
+            for hook in all_hooks:
+                hook.on_step_start(step)
+
             # Phase 1: stimulus generation
-            start = time.perf_counter()
+            start = perf_counter()
             events = 0
-            for stimulus in self.network.stimuli:
-                idx, weights = stimulus.generate(self._step, self.rng)
-                self._queues[stimulus.target.name].enqueue_now(
-                    idx, weights, stimulus.syn_type
-                )
+            for stimulus, queue, syn_type in stimuli:
+                idx, weights = stimulus.generate(step, self.rng)
+                queue.enqueue_now(idx, weights, syn_type)
                 events += idx.size
-            phases["stimulus"].add(time.perf_counter() - start, events)
-            stimulus_events += events
+            elapsed = perf_counter() - start
+            for hook in all_hooks:
+                hook.on_phase("stimulus", step, elapsed, events)
 
             # Phase 2: neuron computation
-            start = time.perf_counter()
-            fired_by_pop: Dict[str, np.ndarray] = {}
-            for name in pop_names:
-                inputs = self._queues[name].current()
-                fired = self.backend.advance(name, inputs, self.dt)
-                fired_by_pop[name] = np.nonzero(fired)[0]
+            start = perf_counter()
+            updates = 0
+            for name, queue, n_pop in populations:
+                fired = backend_advance(name, queue.current(), dt)
+                fired_index[name] = np.nonzero(fired)[0]
                 if record_spikes:
-                    recorder.record(name, self._step, fired)
-                neuron_updates += self.network.populations[name].n
-            for state_recorder in state_recorders:
-                state_recorder.sample(
-                    self.backend.state_of(state_recorder.population)
-                )
-            phases["neuron"].add(
-                time.perf_counter() - start, self.network.n_neurons
-            )
+                    recorder.record_indices(name, step, fired_index[name])
+                updates += n_pop
+            elapsed = perf_counter() - start
+            for hook in all_hooks:
+                hook.on_phase("neuron", step, elapsed, updates)
+
+            # State-recorder sampling: measurement overhead, charged to
+            # no phase (it used to be silently billed as neuron time).
+            if recorder_bindings:
+                start = perf_counter()
+                for state_recorder, population in recorder_bindings:
+                    state_recorder.sample(self.backend.state_of(population))
+                recording_seconds += perf_counter() - start
 
             # Phase 3: synapse calculation (spike routing + plasticity)
-            start = time.perf_counter()
+            start = perf_counter()
             events = 0
-            for projection in self.network.projections:
-                fired_pre = fired_by_pop.get(projection.pre.name)
+            for projection, pre_name, post_queue, syn_type in projections:
+                fired_pre = fired_index.get(pre_name)
                 if fired_pre is None or fired_pre.size == 0:
                     continue
                 post_idx, weights, delays = projection.synapses_of(fired_pre)
-                self._queues[projection.post.name].enqueue(
-                    post_idx, weights, delays, projection.syn_type
-                )
+                post_queue.enqueue(post_idx, weights, delays, syn_type)
                 events += post_idx.size
-            for rule in self.network.plasticity_rules:
-                projection = rule.projection
-                rule.step(
-                    fired_by_pop[projection.pre.name],
-                    fired_by_pop[projection.post.name],
-                    self.dt,
-                )
-            phases["synapse"].add(time.perf_counter() - start, events)
-            synaptic_events += events
+            for rule, pre_name, post_name in plasticity:
+                rule.step(fired_index[pre_name], fired_index[post_name], dt)
+            elapsed = perf_counter() - start
+            for hook in all_hooks:
+                hook.on_phase("synapse", step, elapsed, events)
 
-            for queue in self._queues.values():
+            for _, queue, _ in populations:
                 queue.rotate()
             self._step += 1
 
         evaluations = {
-            name: self.backend.evaluations_per_step(name) for name in pop_names
+            name: self.backend.evaluations_per_step(name)
+            for name, _, _ in populations
         }
-        return SimulationResult(
+        result = SimulationResult(
             network_name=self.network.name,
             backend_name=self.backend.name,
             n_steps=n_steps,
             dt=self.dt,
             spikes=recorder,
-            phases=phases,
-            neuron_updates=neuron_updates,
-            synaptic_events=synaptic_events,
-            stimulus_events=stimulus_events,
+            phases=timer.phases,
             evaluations_per_step=evaluations,
+            recording_seconds=recording_seconds,
         )
+        for hook in all_hooks:
+            hook.on_run_end(result)
+        return result
 
     @property
     def current_step(self) -> int:

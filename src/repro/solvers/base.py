@@ -5,6 +5,14 @@ given the accumulated synaptic input for that step, and reports which
 neurons fired. It also tracks how many derivative evaluations it has
 performed — the CPU/GPU cost models charge neuron computation by
 evaluation count, which is how Euler-vs-RKF45 shows up in Figure 3.
+
+Solvers run inside the engine layer's
+:class:`~repro.engine.runtime.SolverRuntime`: one solver instance per
+population, driving dict-of-arrays state. Euler-integrated feature
+models usually bypass the solver entirely via a compiled
+:class:`~repro.engine.plan.StepPlan` (bit-identical, faster); RKF45
+and models with private step semantics always take this path, keeping
+the adaptive smooth/jump split intact.
 """
 
 from __future__ import annotations

@@ -1,0 +1,112 @@
+"""PhaseHook API and the unified phase-accounting regression tests."""
+
+import pytest
+
+from repro.engine import PHASES, PhaseHook, PhaseTimer, PhaseTrace
+from repro.network import ReferenceBackend, Simulator, StateRecorder
+
+DT = 1e-4
+
+
+class _RecordingHook(PhaseHook):
+    def __init__(self):
+        self.run_starts = []
+        self.steps = []
+        self.phases = []
+        self.results = []
+
+    def on_run_start(self, network, n_steps):
+        self.run_starts.append((network.name, n_steps))
+
+    def on_step_start(self, step):
+        self.steps.append(step)
+
+    def on_phase(self, phase, step, seconds, operations):
+        self.phases.append((phase, step, operations))
+
+    def on_run_end(self, result):
+        self.results.append(result)
+
+
+class TestPhaseHookStream:
+    def test_hook_sees_every_phase_of_every_step(self, small_network):
+        hook = _RecordingHook()
+        sim = Simulator(small_network, dt=DT, seed=3)
+        result = sim.run(25, hooks=[hook])
+        assert hook.run_starts == [(small_network.name, 25)]
+        assert hook.steps == list(range(25))
+        assert len(hook.phases) == 25 * len(PHASES)
+        # Per step, the three phases fire in canonical order.
+        assert [p for p, _, _ in hook.phases[:3]] == list(PHASES)
+        assert hook.results == [result]
+
+    def test_hook_step_numbers_continue_across_runs(self, small_network):
+        hook = _RecordingHook()
+        sim = Simulator(small_network, dt=DT, seed=3)
+        sim.run(10, hooks=[hook])
+        sim.run(5, hooks=[hook])
+        assert hook.steps == list(range(15))
+
+    def test_phase_trace_counts_steps(self, small_network):
+        trace = PhaseTrace()
+        Simulator(small_network, dt=DT, seed=3).run(12, hooks=[trace])
+        assert trace.steps_recorded() == 12
+        assert len(trace.events) == 12 * len(PHASES)
+
+    def test_phase_timer_standalone_accumulates(self):
+        timer = PhaseTimer()
+        timer.on_phase("neuron", 0, 0.5, 10)
+        timer.on_phase("neuron", 1, 0.25, 10)
+        assert timer.phases["neuron"].seconds == 0.75
+        assert timer.phases["neuron"].operations == 20
+
+    def test_base_hook_methods_are_no_ops(self, small_network):
+        # A bare PhaseHook must be attachable without overriding anything.
+        Simulator(small_network, dt=DT, seed=3).run(5, hooks=[PhaseHook()])
+
+
+class TestPhaseAccounting:
+    """Regressions for the seed's two phase-accounting bugs: recorder
+    sampling silently charged to the neuron phase, and neuron updates
+    counted on a second independent path.
+    """
+
+    def test_counters_come_from_phase_stats(self, small_network):
+        result = Simulator(small_network, dt=DT, seed=3).run(50)
+        assert result.neuron_updates == result.phases["neuron"].operations
+        assert result.synaptic_events == result.phases["synapse"].operations
+        assert result.stimulus_events == result.phases["stimulus"].operations
+
+    def test_neuron_updates_exactly_steps_times_neurons(self, small_network):
+        result = Simulator(small_network, dt=DT, seed=3).run(50)
+        assert result.neuron_updates == 50 * small_network.n_neurons
+
+    def test_fractions_sum_to_one_with_recorders(self, small_network):
+        recorder = StateRecorder("exc", variables=("v",), neurons=[0])
+        result = Simulator(small_network, dt=DT, seed=3).run(
+            50, state_recorders=[recorder]
+        )
+        assert sum(result.phase_fractions().values()) == pytest.approx(1.0)
+        assert set(result.phases) == set(PHASES)
+
+    def test_recorder_time_not_charged_to_any_phase(self, small_network):
+        recorder = StateRecorder("exc", variables=("v",), neurons=[0])
+        result = Simulator(small_network, dt=DT, seed=3).run(
+            50, state_recorders=[recorder]
+        )
+        assert result.recording_seconds > 0.0
+        assert result.recording_seconds not in [
+            stats.seconds for stats in result.phases.values()
+        ]
+
+    def test_no_recorders_means_no_recording_time(self, small_network):
+        result = Simulator(small_network, dt=DT, seed=3).run(20)
+        assert result.recording_seconds == 0.0
+
+    def test_identical_counts_on_engine_and_solver_paths(self, small_network):
+        fast = Simulator(
+            small_network, ReferenceBackend("Euler"), dt=DT, seed=3
+        ).run(50)
+        assert (
+            fast.neuron_updates == 50 * small_network.n_neurons
+        )

@@ -1,0 +1,107 @@
+"""Tests for StepPlan compilation (the models → engine lowering)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import StepPlan, compile_step_plan, supports_step_plan
+from repro.features import Feature
+from repro.models.registry import available_models, create_model
+
+DT = 1e-4
+
+#: Registry models whose step function is the generic FeatureModel one.
+PLANNABLE = [
+    name
+    for name in available_models()
+    if name not in ("HH", "NativeIzhikevich")
+]
+
+
+class TestSupportsStepPlan:
+    @pytest.mark.parametrize("name", PLANNABLE)
+    def test_feature_models_are_plannable(self, name):
+        assert supports_step_plan(create_model(name))
+
+    @pytest.mark.parametrize("name", ["HH", "NativeIzhikevich"])
+    def test_custom_step_models_are_not(self, name):
+        assert not supports_step_plan(create_model(name))
+
+    def test_compile_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            compile_step_plan(create_model("HH"), DT)
+
+
+class TestCompiledPlan:
+    @pytest.mark.parametrize("name", PLANNABLE)
+    def test_plan_matches_derived_constants(self, name):
+        model = create_model(name)
+        plan = compile_step_plan(model, DT)
+        d = model.parameters.derived(DT)
+        assert isinstance(plan, StepPlan)
+        assert plan.dt == DT
+        assert plan.model_name == model.name
+        assert plan.eps_m == d.eps_m
+        assert plan.leak_max == d.leak_max
+        assert plan.cnt_reload == float(d.cnt_reload)
+        np.testing.assert_array_equal(
+            plan.one_minus_eps_g[:, 0], d.one_minus_eps_g
+        )
+
+    def test_eps_columns_are_readonly_column_vectors(self):
+        plan = compile_step_plan(create_model("AdEx_COBA"), DT)
+        assert plan.one_minus_eps_g.shape == (plan.n_synapse_types, 1)
+        assert plan.e_eps_g.shape == (plan.n_synapse_types, 1)
+        assert not plan.one_minus_eps_g.flags.writeable
+        assert not plan.e_eps_g.flags.writeable
+
+    def test_kernel_classification(self):
+        assert compile_step_plan(create_model("LIF"), DT).kernel == "CUB"
+        assert compile_step_plan(create_model("AdEx"), DT).kernel == "COBE"
+        assert (
+            compile_step_plan(create_model("AdEx_COBA"), DT).kernel == "COBA"
+        )
+
+    def test_adaptation_classification(self):
+        assert compile_step_plan(create_model("LIF"), DT).adaptation is None
+        assert compile_step_plan(create_model("AdEx"), DT).adaptation == "SBT"
+        assert (
+            compile_step_plan(
+                create_model("IF_cond_exp_gsfa_grr"), DT
+            ).adaptation
+            == "RR"
+        )
+
+    def test_threshold_uses_v_theta_with_spike_initiation(self):
+        model = create_model("AdEx")  # EXI: fires at v_theta, not theta
+        plan = compile_step_plan(model, DT)
+        assert model.features.spike_initiation is not None
+        assert plan.threshold == model.parameters.v_theta
+
+    def test_threshold_uses_theta_without_spike_initiation(self):
+        model = create_model("LIF")
+        plan = compile_step_plan(model, DT)
+        assert plan.threshold == model.parameters.theta
+
+    def test_feature_flags_mirror_feature_set(self):
+        model = create_model("IF_cond_exp_gsfa_grr")
+        plan = compile_step_plan(model, DT)
+        f = model.features
+        assert plan.use_ar == (Feature.AR in f)
+        assert plan.use_rev == (Feature.REV in f)
+        assert plan.use_lid == (Feature.LID in f)
+
+
+class TestDerivedConstants:
+    def test_cached_per_parameters_and_dt(self):
+        p = create_model("LIF").parameters
+        assert p.derived(DT) is p.derived(DT)
+        assert p.derived(DT) is not p.derived(2 * DT)
+
+    def test_matches_historical_expressions(self):
+        p = create_model("AdEx").parameters
+        d = p.derived(DT)
+        assert d.eps_m == DT / p.tau
+        assert d.sbt_gain == (DT / p.tau) * p.a
+        for i, tau in enumerate(p.tau_g):
+            assert d.eps_g[i] == DT / tau
+            assert d.one_minus_eps_g[i] == 1.0 - DT / tau

@@ -1,0 +1,97 @@
+"""Property test: SpikeQueue vs a brute-force dense delay model.
+
+The ring buffer's contract is simple to state — a weight enqueued with
+delay ``d`` at step ``t`` appears in the input popped at step ``t+d``,
+weights accumulate additively, and ``enqueue_now`` lands in the very
+slot popped this step — so we model it with a dense ``(steps, types,
+n)`` array and let Hypothesis interleave enqueue / enqueue_now / rotate
+arbitrarily. Any head-pointer or wrap-around bug diverges from the
+dense model immediately.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.network.spike_queue import SpikeQueue
+
+N = 7
+N_TYPES = 2
+MAX_DELAY = 4
+HORIZON = 40  # dense-model steps; generous upper bound for ops lists
+
+# One queue interaction: (kind, target, weight, delay, syn_type).
+_op = st.one_of(
+    st.tuples(
+        st.just("enqueue"),
+        st.integers(0, N - 1),
+        st.floats(-5.0, 5.0, allow_nan=False, width=32),
+        st.integers(1, MAX_DELAY),
+        st.integers(0, N_TYPES - 1),
+    ),
+    st.tuples(
+        st.just("enqueue_now"),
+        st.integers(0, N - 1),
+        st.floats(-5.0, 5.0, allow_nan=False, width=32),
+        st.just(0),
+        st.integers(0, N_TYPES - 1),
+    ),
+    st.tuples(
+        st.just("rotate"),
+        st.just(0),
+        st.just(0.0),
+        st.just(0),
+        st.just(0),
+    ),
+)
+
+
+@given(st.lists(_op, max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_interleaved_ops_match_dense_model(ops):
+    queue = SpikeQueue(N, N_TYPES, MAX_DELAY)
+    dense = np.zeros((HORIZON, N_TYPES, N))
+    now = 0
+    for kind, target, weight, delay, syn_type in ops:
+        if kind == "rotate":
+            np.testing.assert_array_equal(queue.current(), dense[now])
+            queue.rotate()
+            now += 1
+        elif kind == "enqueue":
+            queue.enqueue(
+                np.array([target]),
+                np.array([weight]),
+                np.array([delay]),
+                syn_type,
+            )
+            dense[now + delay, syn_type, target] += weight
+        else:  # enqueue_now
+            queue.enqueue_now(
+                np.array([target]), np.array([weight]), syn_type
+            )
+            dense[now, syn_type, target] += weight
+    # Drain: every still-pending slot must match the dense model too.
+    for offset in range(MAX_DELAY + 1):
+        np.testing.assert_array_equal(queue.current(), dense[now + offset])
+        queue.rotate()
+    assert queue.pending_total() == 0.0
+
+
+@given(st.integers(min_value=-3, max_value=12))
+@settings(max_examples=50, deadline=None)
+def test_out_of_range_delays_raise(delay):
+    queue = SpikeQueue(N, N_TYPES, MAX_DELAY)
+    idx = np.array([0])
+    weight = np.array([1.0])
+    delays = np.array([delay])
+    if 1 <= delay <= MAX_DELAY:
+        queue.enqueue(idx, weight, delays, 0)  # in range: must not raise
+    else:
+        try:
+            queue.enqueue(idx, weight, delays, 0)
+        except SimulationError:
+            pass
+        else:
+            raise AssertionError(f"delay {delay} accepted but out of range")
+        # A rejected enqueue must not have partially mutated the ring.
+        assert queue.pending_total() == 0.0
