@@ -7,7 +7,6 @@ readout becomes selective to the embedded pattern. Output:
 ``benchmarks/output/stdp_learning.txt``.
 """
 
-import numpy as np
 
 from repro.experiments.common import format_table
 from repro.hardware import FoldedFlexonBackend

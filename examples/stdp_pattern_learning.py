@@ -17,7 +17,6 @@ neuron computation. This example runs exactly that split:
 Run:  python examples/stdp_pattern_learning.py
 """
 
-import numpy as np
 
 from repro.hardware import FoldedFlexonBackend
 from repro.network import Network, PatternStimulus, PoissonStimulus, Simulator

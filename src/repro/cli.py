@@ -11,11 +11,13 @@ Subcommands:
     Print the Table V-style control-signal listing for one model.
 ``run WORKLOAD``
     Build and simulate one Table I workload; print firing statistics
-    and the phase breakdown.
+    and the phase breakdown. ``--checkpoint-every N`` writes a
+    restorable checkpoint file every N steps; ``--resume-from PATH``
+    continues a killed run bit-identically from its last checkpoint.
 ``experiment NAME``
     Regenerate one paper artifact (``figure3``, ``figures4to8``,
     ``table3``, ``table5``, ``figure12``, ``table6``, ``figure13``,
-    ``validation``) or ``all``.
+    ``validation``, ``resilience``) or ``all``.
 ``simulate SPEC.json``
     Build a network from a declarative front-end spec (Section VII-B)
     and simulate it on the backend the spec names.
@@ -87,9 +89,11 @@ def _cmd_microcode(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.errors import CheckpointError
     from repro.hardware.backend import FlexonBackend, FoldedFlexonBackend
     from repro.network.backends import ReferenceBackend
     from repro.network.simulator import Simulator
+    from repro.reliability import Checkpoint, CheckpointHook
     from repro.workloads import build_workload, get_spec
 
     spec = get_spec(args.workload)
@@ -106,8 +110,35 @@ def _cmd_run(args) -> int:
         f"{network.n_synapses:,} synapses; backend: {backend.name}"
     )
     simulator = Simulator(network, backend, dt=args.dt, seed=args.seed + 1)
-    result = simulator.run(args.steps)
-    duration = args.steps * args.dt
+
+    spikes = None
+    if args.resume_from:
+        # The rebuilt simulator must match the checkpointed one; the
+        # structural signature check turns a mismatch into a clear
+        # error instead of a silently wrong resume.
+        checkpoint = Checkpoint.load(args.resume_from)
+        checkpoint.restore(simulator)
+        spikes = checkpoint.seed_recorder()
+        print(
+            f"resumed from {args.resume_from!r} at step "
+            f"{simulator.current_step}"
+        )
+    remaining = args.steps - simulator.current_step
+    if remaining < 0:
+        raise CheckpointError(
+            f"checkpoint is at step {simulator.current_step}, past the "
+            f"requested {args.steps} steps"
+        )
+
+    hooks = []
+    if args.checkpoint_every:
+        hooks.append(
+            CheckpointHook(
+                simulator, args.checkpoint_every, args.checkpoint_path
+            )
+        )
+    result = simulator.run(remaining, hooks=hooks, spikes=spikes)
+    duration = simulator.current_step * args.dt
     rate = result.total_spikes() / max(1, network.n_neurons) / duration
     print(
         f"\n{result.total_spikes():,} spikes in {duration * 1e3:.0f} ms "
@@ -116,6 +147,10 @@ def _cmd_run(args) -> int:
     print("per-phase wall-clock share:")
     for phase, fraction in result.phase_fractions().items():
         print(f"  {phase:10s} {100 * fraction:5.1f}%")
+    if not result.diagnostics.healthy():
+        print("reliability diagnostics:")
+        for line in result.diagnostics.summary().splitlines():
+            print(f"  {line}")
     return 0
 
 
@@ -125,6 +160,7 @@ def _cmd_experiment(args) -> int:
         figure12,
         figure13,
         figures4to8,
+        resilience,
         table3,
         table5,
         table6,
@@ -162,6 +198,10 @@ def _cmd_experiment(args) -> int:
         rows = validation.run(scale=args.scale, steps=args.steps)
         return validation.format_validation(rows)
 
+    def run_resilience():
+        rows = resilience.run(scale=args.scale, steps=args.steps)
+        return resilience.format_resilience(rows)
+
     experiments = {
         "figure3": run_figure3,
         "figures4to8": run_figures4to8,
@@ -171,6 +211,7 @@ def _cmd_experiment(args) -> int:
         "table6": run_table6,
         "figure13": run_figure13,
         "validation": run_validation,
+        "resilience": run_resilience,
     }
     names = list(experiments) if args.name == "all" else [args.name]
     for name in names:
@@ -242,6 +283,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--steps", type=int, default=1000)
     run.add_argument("--dt", type=float, default=DT)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write a restorable checkpoint every N steps (0 = off)",
+    )
+    run.add_argument(
+        "--checkpoint-path",
+        default="repro-checkpoint.pkl",
+        help="file the periodic checkpoint is (atomically) written to",
+    )
+    run.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="PATH",
+        help="resume bit-identically from a checkpoint file; --steps "
+        "is the total step count including the checkpointed prefix",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -250,7 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         choices=(
             "figure3", "figures4to8", "table3", "table5", "figure12",
-            "table6", "figure13", "validation", "all",
+            "table6", "figure13", "validation", "resilience", "all",
         ),
     )
     experiment.add_argument("--scale", type=float, default=0.03)

@@ -26,16 +26,23 @@ Registering a new backend therefore means implementing one
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import CheckpointError, SimulationError
 from repro.features import Feature
 from repro.models.base import NeuronModel, State
 from repro.models.feature_model import FeatureModel
 from repro.engine.plan import StepPlan, compile_step_plan, supports_step_plan
 from repro.solvers.base import Solver
+
+#: Absolute state value beyond which a float runtime is considered
+#: divergent. The shift-and-scale normalisation keeps healthy membrane
+#: potentials within a few units of [0, 1] and conductances far below
+#: this, so the bound trips only on genuine blow-ups, never on
+#: legitimate dynamics.
+DIVERGENCE_LIMIT = 1e6
 
 
 class PopulationRuntime(abc.ABC):
@@ -61,6 +68,52 @@ class PopulationRuntime(abc.ABC):
     def evaluations_per_step(self) -> float:
         """Solver evaluations charged per step (cost-model input)."""
         return 1.0
+
+    # -- reliability seam --------------------------------------------------
+
+    def health(
+        self, limit: Optional[float] = DIVERGENCE_LIMIT
+    ) -> Optional[Tuple[str, np.ndarray]]:
+        """Cheap numeric screen of the live state.
+
+        Returns ``None`` while every state variable is finite (and
+        within ``±limit`` when a limit is given); otherwise the name of
+        the first bad variable and the indices of the offending
+        neurons. Fixed-point runtimes are bounded by construction, so
+        this default only ever trips on the float paths.
+        """
+        for variable, values in self.state().items():
+            bad = ~np.isfinite(values)
+            if limit is not None:
+                bad |= np.abs(values) > limit
+            if bad.any():
+                return variable, np.nonzero(bad)[0]
+        return None
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything needed to rebuild this runtime's state bit for bit.
+
+        Subclasses override both halves; the base refuses so a backend
+        with a non-checkpointable runtime fails loudly at capture time
+        rather than resuming wrong.
+        """
+        raise CheckpointError(
+            f"runtime {type(self).__name__} does not support checkpointing"
+        )
+
+    def restore(self, payload: Dict[str, object]) -> None:
+        """Overwrite this runtime's state from a :meth:`snapshot`."""
+        raise CheckpointError(
+            f"runtime {type(self).__name__} does not support checkpointing"
+        )
+
+    def _check_restore_sizes(self, state: Dict[str, np.ndarray]) -> None:
+        for name, values in state.items():
+            if np.asarray(values).shape != (self.n,):
+                raise CheckpointError(
+                    f"checkpointed variable {name!r} of {self.name!r} has "
+                    f"shape {np.asarray(values).shape}, expected ({self.n},)"
+                )
 
 
 class CompiledRuntime(PopulationRuntime):
@@ -287,6 +340,24 @@ class CompiledRuntime(PopulationRuntime):
         for name, values in state.items():
             self._views[name][:] = values
 
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": "compiled",
+            "state": {name: view.copy() for name, view in self._views.items()},
+            "advances": self.advances,
+        }
+
+    def restore(self, payload: Dict[str, object]) -> None:
+        state = payload["state"]
+        if set(state) != set(self._views):
+            raise CheckpointError(
+                f"checkpoint variables {sorted(state)} do not match "
+                f"{self.name!r}'s state {sorted(self._views)}"
+            )
+        self._check_restore_sizes(state)
+        self.load_state(state)
+        self.advances = int(payload["advances"])
+
 
 class SolverRuntime(PopulationRuntime):
     """Dict-state fallback: a software solver advancing ``model.step``
@@ -309,3 +380,28 @@ class SolverRuntime(PopulationRuntime):
 
     def evaluations_per_step(self) -> float:
         return self.solver.evaluations_per_step()
+
+    def load_state(self, state: State) -> None:
+        """Overwrite the dict state in place (keeps recorder views live)."""
+        for name, values in state.items():
+            self._state[name][:] = values
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": "solver",
+            "state": {name: values.copy() for name, values in self._state.items()},
+            "evaluations": self.solver.evaluations,
+            "advances": self.solver.advances,
+        }
+
+    def restore(self, payload: Dict[str, object]) -> None:
+        state = payload["state"]
+        if set(state) != set(self._state):
+            raise CheckpointError(
+                f"checkpoint variables {sorted(state)} do not match "
+                f"{self.name!r}'s state {sorted(self._state)}"
+            )
+        self._check_restore_sizes(state)
+        self.load_state(state)
+        self.solver.evaluations = int(payload["evaluations"])
+        self.solver.advances = int(payload["advances"])

@@ -56,3 +56,46 @@ class MicrocodeError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when a simulation cannot proceed (e.g. inconsistent sizes)."""
+
+
+class ReliabilityError(ReproError):
+    """Base class for reliability-layer failures (numerics, checkpoints).
+
+    Separating these from :class:`SimulationError` lets degradation
+    policies catch *detected faults* (and, say, fall back to the
+    verbatim solver path) without accidentally swallowing genuine
+    usage errors such as shape mismatches.
+    """
+
+
+class NumericsError(ReliabilityError):
+    """Raised when simulation state stops being numerically trustworthy.
+
+    Carries enough structure to act on: which population went bad, at
+    which step, which state variable, and the indices of the offending
+    neurons. The message stays human-readable so uncaught guard trips
+    still explain themselves.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        population: str = "",
+        step: int = -1,
+        variable: str = "",
+        indices=(),
+    ):
+        super().__init__(message)
+        self.population = population
+        self.step = step
+        self.variable = variable
+        self.indices = tuple(int(i) for i in indices)
+
+
+class CheckpointError(ReliabilityError):
+    """Raised when a checkpoint cannot be captured, read, or restored.
+
+    Restoring verifies a structural signature (network name, population
+    sizes, backend name, dt) so a checkpoint from one simulation cannot
+    silently corrupt another.
+    """

@@ -56,7 +56,10 @@ def _trace(
 
 def figure4_membrane_decay(steps: int = 600) -> Dict[str, List[float]]:
     """EXD's exponential curve vs LID's straight line to rest."""
-    silent = lambda _step: 0.0
+
+    def silent(_step):
+        return 0.0
+
     return {
         "EXD (exponential)": _trace(
             [Feature.EXD, Feature.CUB], steps, silent, v0=0.9, tau=20e-3
@@ -74,8 +77,13 @@ def figure5_input_accumulation(steps: int = 500) -> Dict[str, List[float]]:
     current-based pulse is 100x larger to make the three kernels'
     membrane responses comparable in one plot.
     """
-    pulse = lambda step: 0.5 if step == 0 else 0.0
-    cub_pulse = lambda step: 100.0 if step == 0 else 0.0
+
+    def pulse(step):
+        return 0.5 if step == 0 else 0.0
+
+    def cub_pulse(step):
+        return 100.0 if step == 0 else 0.0
+
     return {
         "CUB (instant)": _trace([Feature.EXD, Feature.CUB], steps, cub_pulse),
         "COBE (exponential)": _trace(
@@ -89,7 +97,10 @@ def figure5_input_accumulation(steps: int = 500) -> Dict[str, List[float]]:
 
 def figure6_spike_initiation(steps: int = 500) -> Dict[str, List[float]]:
     """Trajectories from just above theta: instant fire vs self-drive."""
-    silent = lambda _step: 0.0
+
+    def silent(_step):
+        return 0.0
+
     return {
         "instant (LIF)": _trace(
             [Feature.EXD, Feature.CUB], steps, silent, v0=1.05
@@ -109,7 +120,10 @@ def figure7_spike_triggered_current(
     steps: int = 6000,
 ) -> Dict[str, List[float]]:
     """ADT's stretching inter-spike intervals; SBT's oscillation level."""
-    drive = lambda _step: 2.0
+
+    def drive(_step):
+        return 2.0
+
     return {
         "plain LIF": _trace([Feature.EXD, Feature.CUB], steps, drive),
         "ADT (adaptation)": _trace(
@@ -126,7 +140,10 @@ def figure7_spike_triggered_current(
 
 def figure8_refractory(steps: int = 2000) -> Dict[str, List[float]]:
     """Firing under strong drive: AR's hard cap vs RR's soft slowdown."""
-    drive = lambda _step: 4.0
+
+    def drive(_step):
+        return 4.0
+
     return {
         "no refractory": _trace([Feature.EXD, Feature.CUB], steps, drive),
         "AR (absolute)": _trace(

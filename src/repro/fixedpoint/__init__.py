@@ -23,12 +23,15 @@ from repro.fixedpoint.fixed import (
     MEMBRANE_FORMAT,
     Fixed,
     FixedFormat,
+    SaturationStats,
     fx_add,
     fx_from_float,
     fx_mul,
     fx_neg,
+    fx_saturate,
     fx_sub,
     fx_to_float,
+    observe_saturation,
 )
 from repro.fixedpoint.fastexp import fast_exp, fx_exp
 
@@ -37,12 +40,15 @@ __all__ = [
     "MEMBRANE_FORMAT",
     "Fixed",
     "FixedFormat",
+    "SaturationStats",
     "fast_exp",
     "fx_add",
     "fx_exp",
     "fx_from_float",
     "fx_mul",
     "fx_neg",
+    "fx_saturate",
     "fx_sub",
     "fx_to_float",
+    "observe_saturation",
 ]

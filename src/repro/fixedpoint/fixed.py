@@ -14,8 +14,9 @@ evaluated workloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Union
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Union
 
 import numpy as np
 
@@ -116,34 +117,143 @@ FLEXON_FORMAT = FixedFormat(total_bits=32, frac_bits=22, signed=True)
 MEMBRANE_FORMAT = FixedFormat(total_bits=24, frac_bits=22, signed=True)
 
 
-def _saturate_scalar(raw: int, fmt: FixedFormat, strict: bool) -> int:
+@dataclass
+class SaturationStats:
+    """Per-format accounting of non-strict saturation events.
+
+    The RTL saturates silently; the paper's correctness argument rests
+    on the chosen formats *never* saturating on the evaluated workloads
+    (Section VI-A). These counters make that claim observable at run
+    time instead of only assertable in strict mode: each time a
+    non-strict saturate actually clips, the clipped element count is
+    recorded against the format that clipped it.
+    """
+
+    #: Elements clipped, keyed by the format that clipped them.
+    clipped: Dict[FixedFormat, int] = field(default_factory=dict)
+    #: Total elements examined while accounting was active.
+    checked: int = 0
+
+    def record(self, fmt: FixedFormat, checked: int, clipped: int) -> None:
+        self.checked += checked
+        if clipped:
+            self.clipped[fmt] = self.clipped.get(fmt, 0) + clipped
+
+    @property
+    def total_clipped(self) -> int:
+        """Elements clipped across every format."""
+        return sum(self.clipped.values())
+
+    def merge(self, other: "SaturationStats") -> None:
+        """Fold another stats object into this one."""
+        self.checked += other.checked
+        for fmt, count in other.clipped.items():
+            self.clipped[fmt] = self.clipped.get(fmt, 0) + count
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``Q9.22: 3 clips / 1200 checked``."""
+        if not self.clipped:
+            return f"no saturation ({self.checked} values checked)"
+        parts = ", ".join(
+            f"{fmt.describe()}: {count}"
+            for fmt, count in sorted(
+                self.clipped.items(), key=lambda item: -item[1]
+            )
+        )
+        return f"{parts} clips / {self.checked} checked"
+
+
+#: The process-wide stats sink; ``None`` keeps the hot path untouched.
+_ACTIVE_SINK: Optional[SaturationStats] = None
+
+
+@contextmanager
+def observe_saturation(stats: SaturationStats) -> Iterator[SaturationStats]:
+    """Route all non-strict saturation accounting into ``stats``.
+
+    Hardware runtimes wrap each step in this context so a whole run's
+    clip counts accumulate in one :class:`SaturationStats`; helpers may
+    also be given an explicit ``stats=`` sink, which takes precedence.
+    """
+    global _ACTIVE_SINK
+    previous = _ACTIVE_SINK
+    _ACTIVE_SINK = stats
+    try:
+        yield stats
+    finally:
+        _ACTIVE_SINK = previous
+
+
+def _saturate_scalar(
+    raw: int,
+    fmt: FixedFormat,
+    strict: bool,
+    stats: Optional[SaturationStats] = None,
+) -> int:
+    sink = stats if stats is not None else _ACTIVE_SINK
     if raw > fmt.raw_max:
         if strict:
             raise FixedPointOverflowError(
                 f"raw value {raw} exceeds max {fmt.raw_max} of {fmt}"
             )
+        if sink is not None:
+            sink.record(fmt, 1, 1)
         return fmt.raw_max
     if raw < fmt.raw_min:
         if strict:
             raise FixedPointOverflowError(
                 f"raw value {raw} below min {fmt.raw_min} of {fmt}"
             )
+        if sink is not None:
+            sink.record(fmt, 1, 1)
         return fmt.raw_min
+    if sink is not None:
+        sink.record(fmt, 1, 0)
     return raw
 
 
-def _saturate_array(raw: np.ndarray, fmt: FixedFormat, strict: bool) -> np.ndarray:
+def _saturate_array(
+    raw: np.ndarray,
+    fmt: FixedFormat,
+    strict: bool,
+    stats: Optional[SaturationStats] = None,
+) -> np.ndarray:
     if strict:
         if np.any(raw > fmt.raw_max) or np.any(raw < fmt.raw_min):
             raise FixedPointOverflowError(f"array value saturates format {fmt}")
         return raw
+    sink = stats if stats is not None else _ACTIVE_SINK
+    if sink is not None:
+        over = int(np.count_nonzero(raw > fmt.raw_max))
+        under = int(np.count_nonzero(raw < fmt.raw_min))
+        sink.record(fmt, raw.size, over + under)
     return np.clip(raw, fmt.raw_min, fmt.raw_max)
 
 
-def _saturate(raw: RawLike, fmt: FixedFormat, strict: bool) -> RawLike:
+def _saturate(
+    raw: RawLike,
+    fmt: FixedFormat,
+    strict: bool,
+    stats: Optional[SaturationStats] = None,
+) -> RawLike:
     if isinstance(raw, np.ndarray):
-        return _saturate_array(raw, fmt, strict)
-    return _saturate_scalar(int(raw), fmt, strict)
+        return _saturate_array(raw, fmt, strict, stats)
+    return _saturate_scalar(int(raw), fmt, strict, stats)
+
+
+def fx_saturate(
+    raw: RawLike,
+    fmt: FixedFormat,
+    strict: bool = False,
+    stats: Optional[SaturationStats] = None,
+) -> RawLike:
+    """Saturate raw values to a format's range, with accounting.
+
+    The public face of the internal saturation helpers: the membrane
+    truncation write-back (Section IV-B1) uses this so clamps against
+    the narrow 24-bit store are counted like every other saturation.
+    """
+    return _saturate(raw, fmt, strict, stats)
 
 
 def fx_from_float(value, fmt: FixedFormat, strict: bool = False) -> RawLike:

@@ -27,8 +27,8 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.engine.runtime import PopulationRuntime, SolverRuntime
-from repro.errors import SimulationError
-from repro.fixedpoint import fx_from_float
+from repro.errors import CheckpointError, SimulationError
+from repro.fixedpoint import SaturationStats, fx_from_float, observe_saturation
 from repro.hardware.compiler import CompiledModel, FlexonCompiler
 from repro.hardware.flexon import FlexonNeuron
 from repro.models.base import State
@@ -44,6 +44,12 @@ class HardwareRuntime(PopulationRuntime):
     array; ``advance`` pre-scales and quantises the host-side float
     inputs exactly as the seed backends did, then runs one hardware
     step. The dt the constants were baked for is enforced per call.
+
+    Every step runs under saturation accounting: any value the
+    fixed-point datapaths clip (rather than represent) is counted per
+    format in ``saturation_stats``, so a run can *report* how often the
+    hardware silently saturated — the observable form of the paper's
+    "chosen formats never saturate" claim.
     """
 
     def __init__(
@@ -58,6 +64,8 @@ class HardwareRuntime(PopulationRuntime):
             if folded
             else compiled.instantiate_flexon(n)
         )
+        #: Per-format clip counts accumulated across every step so far.
+        self.saturation_stats = SaturationStats()
 
     def advance(self, inputs: np.ndarray, dt: float) -> np.ndarray:
         if abs(dt - self.dt) > 1e-15:
@@ -65,13 +73,29 @@ class HardwareRuntime(PopulationRuntime):
                 f"backend compiled for dt={self.dt}, asked to step dt={dt}; "
                 "constants are baked per time step"
             )
-        raw = fx_from_float(
-            inputs * self.compiled.weight_scale, self.compiled.constants.fmt
-        )
+        with observe_saturation(self.saturation_stats):
+            raw = fx_from_float(
+                inputs * self.compiled.weight_scale, self.compiled.constants.fmt
+            )
+            return self._step_neuron(raw)
+
+    def _step_neuron(self, raw: np.ndarray) -> np.ndarray:
+        """One quantised hardware step (monitoring subclasses wrap this)."""
         return self.neuron.step(raw)
 
     def state(self) -> State:
         return self.neuron.float_state()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": "hardware", "neuron": self.neuron.snapshot()}
+
+    def restore(self, payload: Dict[str, object]) -> None:
+        try:
+            self.neuron.restore(payload["neuron"])
+        except SimulationError as error:
+            raise CheckpointError(
+                f"cannot restore {self.name!r}: {error}"
+            ) from error
 
     @property
     def cycles_per_neuron(self) -> int:

@@ -29,9 +29,7 @@ from typing import Union
 
 import numpy as np
 
-from repro.errors import SimulationError
 from repro.features import Feature, FeatureSet
-from repro.fixedpoint import fx_from_float
 from repro.hardware.backend import HardwareRuntime, _HardwareBackendBase
 from repro.hardware.flexon import FlexonNeuron
 from repro.hardware.folded import FoldedFlexonNeuron
@@ -122,15 +120,7 @@ class EventDrivenRuntime(HardwareRuntime):
         super().__init__(name, n, compiled, dt, folded)
         self.monitor = EventDrivenMonitor(self.neuron)
 
-    def advance(self, inputs: np.ndarray, dt: float) -> np.ndarray:
-        if abs(dt - self.dt) > 1e-15:
-            raise SimulationError(
-                f"backend compiled for dt={self.dt}, asked to step dt={dt}; "
-                "constants are baked per time step"
-            )
-        raw = fx_from_float(
-            inputs * self.compiled.weight_scale, self.compiled.constants.fmt
-        )
+    def _step_neuron(self, raw: np.ndarray) -> np.ndarray:
         return self.monitor.step(raw)
 
     @property

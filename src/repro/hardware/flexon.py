@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.features import Feature, FeatureSet
-from repro.fixedpoint import MEMBRANE_FORMAT, FixedFormat, fx_add
+from repro.fixedpoint import MEMBRANE_FORMAT, FixedFormat, fx_add, fx_saturate
 from repro.hardware import datapaths as dp
 from repro.hardware.constants import NeuronConstants
 
@@ -151,8 +151,7 @@ class FlexonNeuron:
         fired = acc > c.threshold
         v_next = np.where(fired, np.int64(c.v_reset), acc)
         if self.membrane_format is not None:
-            mf = self.membrane_format
-            v_next = np.clip(v_next, mf.raw_min, mf.raw_max)
+            v_next = fx_saturate(v_next, self.membrane_format)
         self.state["v"] = v_next
         # RR-mode jumps grow the reversal-coupled w/r conductances (see
         # the FeatureModel.step commentary); direct-coupled w shrinks.
@@ -179,3 +178,17 @@ class FlexonNeuron:
             else:
                 out[name] = raw.astype(np.float64) / fmt.scale
         return out
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Copies of every raw fixed-point state word (checkpointing)."""
+        return {name: raw.copy() for name, raw in self.state.items()}
+
+    def restore(self, snapshot: Dict[str, np.ndarray]) -> None:
+        """Overwrite the raw state from a :meth:`snapshot`."""
+        if set(snapshot) != set(self.state):
+            raise SimulationError(
+                f"snapshot variables {sorted(snapshot)} do not match "
+                f"neuron state {sorted(self.state)}"
+            )
+        for name, raw in snapshot.items():
+            self.state[name] = np.asarray(raw, dtype=np.int64).copy()

@@ -28,7 +28,14 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.features import Feature
-from repro.fixedpoint import MEMBRANE_FORMAT, FixedFormat, fx_add, fx_exp, fx_mul
+from repro.fixedpoint import (
+    MEMBRANE_FORMAT,
+    FixedFormat,
+    fx_add,
+    fx_exp,
+    fx_mul,
+    fx_saturate,
+)
 from repro.hardware import datapaths as dp
 from repro.hardware.control import (
     AOperand,
@@ -118,8 +125,7 @@ class FoldedFlexonNeuron:
         fired = acc > c.threshold
         v_next = np.where(fired, np.int64(c.v_reset), acc)
         if self.membrane_format is not None:
-            mf = self.membrane_format
-            v_next = np.clip(v_next, mf.raw_min, mf.raw_max)
+            v_next = fx_saturate(v_next, self.membrane_format)
         self.regs[STATE_V] = v_next
         # Jump signs mirror FlexonNeuron (RR conductances grow on fire).
         if Feature.RR in features:
@@ -157,3 +163,29 @@ class FoldedFlexonNeuron:
         if self.cnt is not None:
             out["cnt"] = self.cnt.astype(np.float64)
         return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """Copies of the architectural registers (checkpointing)."""
+        return {
+            "regs": self.regs.copy(),
+            "cnt": None if self.cnt is None else self.cnt.copy(),
+            "total_cycles": self.total_cycles,
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Overwrite the register file from a :meth:`snapshot`."""
+        regs = np.asarray(snapshot["regs"], dtype=np.int64)
+        if regs.shape != self.regs.shape:
+            raise SimulationError(
+                f"snapshot register shape {regs.shape} does not match "
+                f"{self.regs.shape}"
+            )
+        self.regs = regs.copy()
+        cnt = snapshot["cnt"]
+        if (cnt is None) != (self.cnt is None):
+            raise SimulationError(
+                "snapshot refractory counter does not match this program"
+            )
+        if cnt is not None:
+            self.cnt = np.asarray(cnt, dtype=np.int64).copy()
+        self.total_cycles = int(snapshot["total_cycles"])

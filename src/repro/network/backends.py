@@ -34,7 +34,7 @@ from repro.engine.runtime import (
     SolverRuntime,
 )
 from repro.engine.plan import supports_step_plan
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.models.base import State
 from repro.network.network import Network
 from repro.network.population import Population
@@ -124,13 +124,43 @@ class ReferenceBackend(RuntimeBackend):
     selects between the compiled step-plan fast path (default) and the
     historical dict-state solver path; the two produce identical spike
     trains, and the flag exists so benchmarks can compare them.
+
+    ``fault_policy`` decides what happens when a compiled population's
+    state goes numerically bad mid-run: ``"propagate"`` (default) lets
+    the fault surface — attach a
+    :class:`~repro.reliability.guard.NumericsGuard` to turn it into a
+    structured error — while ``"fallback"`` wraps each compiled runtime
+    in a :class:`~repro.reliability.fallback.FallbackRuntime` that
+    re-seats the population onto the verbatim solver path and records
+    the event in ``SimulationResult.diagnostics``.
     """
 
-    def __init__(self, solver: str = "Euler", use_engine: bool = True):
+    FAULT_POLICIES = ("propagate", "fallback")
+
+    def __init__(
+        self,
+        solver: str = "Euler",
+        use_engine: bool = True,
+        fault_policy: str = "propagate",
+    ):
         super().__init__()
+        if fault_policy not in self.FAULT_POLICIES:
+            raise ConfigurationError(
+                f"unknown fault_policy {fault_policy!r} "
+                f"(choose from {', '.join(self.FAULT_POLICIES)})"
+            )
         self.solver_name = solver
         self.use_engine = use_engine
+        self.fault_policy = fault_policy
         self.name = f"reference-{solver.lower()}"
+
+    def _solver_runtime(self, population: Population) -> SolverRuntime:
+        return SolverRuntime(
+            population.name,
+            population.n,
+            population.model,
+            create_solver(self.solver_name),
+        )
 
     def build_runtime(self, population: Population) -> PopulationRuntime:
         model = population.model
@@ -139,10 +169,15 @@ class ReferenceBackend(RuntimeBackend):
             and self.solver_name.lower() == "euler"
             and supports_step_plan(model)
         ):
-            return CompiledRuntime(population.name, population.n, model)
-        return SolverRuntime(
-            population.name,
-            population.n,
-            model,
-            create_solver(self.solver_name),
-        )
+            compiled = CompiledRuntime(population.name, population.n, model)
+            if self.fault_policy == "fallback":
+                # Imported here: the reliability package reaches back
+                # into the network layer, so a module-level import
+                # would be a cycle at package init.
+                from repro.reliability.fallback import FallbackRuntime
+
+                return FallbackRuntime(
+                    compiled, lambda: self._solver_runtime(population)
+                )
+            return compiled
+        return self._solver_runtime(population)

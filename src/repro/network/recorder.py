@@ -84,6 +84,28 @@ class SpikeRecorder:
             for chunks in self._steps.values()
         )
 
+    def snapshot(self) -> Dict[str, tuple]:
+        """Everything recorded so far as ``{population: (steps, neurons)}``."""
+        out = {}
+        for population in self._steps:
+            record = self.result(population)
+            out[population] = (record.steps, record.neurons)
+        return out
+
+    def load(self, snapshot: Dict[str, tuple]) -> None:
+        """Replace the contents from a :meth:`snapshot` (resume support).
+
+        Subsequent :meth:`record_indices` calls append after the loaded
+        spikes, so a resumed run's recorder carries the full train.
+        """
+        self._steps = {}
+        self._neurons = {}
+        for population, (steps, neurons) in snapshot.items():
+            self._steps[population] = [np.asarray(steps, dtype=np.int64).copy()]
+            self._neurons[population] = [
+                np.asarray(neurons, dtype=np.int64).copy()
+            ]
+
 
 @dataclass
 class StateRecorder:

@@ -39,10 +39,11 @@ import numpy as np
 
 from repro.engine.hooks import PHASES, PhaseHook, PhaseStats, PhaseTimer
 from repro.errors import SimulationError
-from repro.network.backends import Backend, ReferenceBackend
+from repro.network.backends import Backend, ReferenceBackend, RuntimeBackend
 from repro.network.network import Network
 from repro.network.recorder import SpikeRecorder, StateRecorder
 from repro.network.spike_queue import SpikeQueue
+from repro.reliability.diagnostics import RunDiagnostics
 
 __all__ = [
     "PHASES",
@@ -70,6 +71,9 @@ class SimulationResult:
     evaluations_per_step: Dict[str, float] = field(default_factory=dict)
     #: Wall-clock spent sampling state recorders; charged to no phase.
     recording_seconds: float = 0.0
+    #: What the reliability layer observed: solver fallbacks and
+    #: fixed-point saturation accounting (empty == fault-free run).
+    diagnostics: RunDiagnostics = field(default_factory=RunDiagnostics)
 
     @property
     def neuron_updates(self) -> int:
@@ -126,6 +130,21 @@ class Simulator:
             for name, pop in network.populations.items()
         }
         self._step = 0
+        self._live_spikes: Optional[SpikeRecorder] = None
+
+    @property
+    def queues(self) -> Dict[str, SpikeQueue]:
+        """The per-population delay queues (checkpointing, fault models)."""
+        return self._queues
+
+    @property
+    def live_spikes(self) -> Optional[SpikeRecorder]:
+        """The recorder of the run in progress (None outside ``run``).
+
+        Mid-run checkpoint capture reads this so a checkpoint can carry
+        the spike history recorded so far.
+        """
+        return self._live_spikes
 
     # -- schedule compilation -------------------------------------------------
 
@@ -170,16 +189,21 @@ class Simulator:
         record_spikes: bool = True,
         state_recorders: Sequence[StateRecorder] = (),
         hooks: Sequence[PhaseHook] = (),
+        spikes: Optional[SpikeRecorder] = None,
     ) -> SimulationResult:
         """Simulate ``n_steps`` time steps and return the results.
 
         ``hooks`` receive the per-phase event stream (see
         :class:`~repro.engine.hooks.PhaseHook`); the built-in timer
-        that produces ``result.phases`` is always attached.
+        that produces ``result.phases`` is always attached. ``spikes``
+        optionally supplies the recorder to append into — a resumed run
+        passes ``Checkpoint.seed_recorder()`` so the result reports the
+        full spike train, not just the resumed tail.
         """
         if n_steps < 0:
             raise SimulationError(f"n_steps must be non-negative, got {n_steps}")
-        recorder = SpikeRecorder()
+        recorder = spikes if spikes is not None else SpikeRecorder()
+        self._live_spikes = recorder
         timer = PhaseTimer()
         all_hooks: Tuple[PhaseHook, ...] = (timer, *hooks)
         stimuli, populations, projections, plasticity = self._compile_schedule()
@@ -196,62 +220,68 @@ class Simulator:
         for hook in all_hooks:
             hook.on_run_start(self.network, n_steps)
 
-        for _ in range(n_steps):
-            step = self._step
-            for hook in all_hooks:
-                hook.on_step_start(step)
+        try:
+            for _ in range(n_steps):
+                step = self._step
+                for hook in all_hooks:
+                    hook.on_step_start(step)
 
-            # Phase 1: stimulus generation
-            start = perf_counter()
-            events = 0
-            for stimulus, queue, syn_type in stimuli:
-                idx, weights = stimulus.generate(step, self.rng)
-                queue.enqueue_now(idx, weights, syn_type)
-                events += idx.size
-            elapsed = perf_counter() - start
-            for hook in all_hooks:
-                hook.on_phase("stimulus", step, elapsed, events)
-
-            # Phase 2: neuron computation
-            start = perf_counter()
-            updates = 0
-            for name, queue, n_pop in populations:
-                fired = backend_advance(name, queue.current(), dt)
-                fired_index[name] = np.nonzero(fired)[0]
-                if record_spikes:
-                    recorder.record_indices(name, step, fired_index[name])
-                updates += n_pop
-            elapsed = perf_counter() - start
-            for hook in all_hooks:
-                hook.on_phase("neuron", step, elapsed, updates)
-
-            # State-recorder sampling: measurement overhead, charged to
-            # no phase (it used to be silently billed as neuron time).
-            if recorder_bindings:
+                # Phase 1: stimulus generation
                 start = perf_counter()
-                for state_recorder, population in recorder_bindings:
-                    state_recorder.sample(self.backend.state_of(population))
-                recording_seconds += perf_counter() - start
+                events = 0
+                for stimulus, queue, syn_type in stimuli:
+                    idx, weights = stimulus.generate(step, self.rng)
+                    queue.enqueue_now(idx, weights, syn_type)
+                    events += idx.size
+                elapsed = perf_counter() - start
+                for hook in all_hooks:
+                    hook.on_phase("stimulus", step, elapsed, events)
 
-            # Phase 3: synapse calculation (spike routing + plasticity)
-            start = perf_counter()
-            events = 0
-            for projection, pre_name, post_queue, syn_type in projections:
-                fired_pre = fired_index.get(pre_name)
-                if fired_pre is None or fired_pre.size == 0:
-                    continue
-                post_idx, weights, delays = projection.synapses_of(fired_pre)
-                post_queue.enqueue(post_idx, weights, delays, syn_type)
-                events += post_idx.size
-            for rule, pre_name, post_name in plasticity:
-                rule.step(fired_index[pre_name], fired_index[post_name], dt)
-            elapsed = perf_counter() - start
-            for hook in all_hooks:
-                hook.on_phase("synapse", step, elapsed, events)
+                # Phase 2: neuron computation
+                start = perf_counter()
+                updates = 0
+                for name, queue, n_pop in populations:
+                    fired = backend_advance(name, queue.current(), dt)
+                    fired_index[name] = np.nonzero(fired)[0]
+                    if record_spikes:
+                        recorder.record_indices(name, step, fired_index[name])
+                    updates += n_pop
+                elapsed = perf_counter() - start
+                for hook in all_hooks:
+                    hook.on_phase("neuron", step, elapsed, updates)
 
-            for _, queue, _ in populations:
-                queue.rotate()
-            self._step += 1
+                # State-recorder sampling: measurement overhead, charged
+                # to no phase (it used to be silently billed as neuron
+                # time).
+                if recorder_bindings:
+                    start = perf_counter()
+                    for state_recorder, population in recorder_bindings:
+                        state_recorder.sample(self.backend.state_of(population))
+                    recording_seconds += perf_counter() - start
+
+                # Phase 3: synapse calculation (spike routing + plasticity)
+                start = perf_counter()
+                events = 0
+                for projection, pre_name, post_queue, syn_type in projections:
+                    fired_pre = fired_index.get(pre_name)
+                    if fired_pre is None or fired_pre.size == 0:
+                        continue
+                    post_idx, weights, delays = projection.synapses_of(
+                        fired_pre
+                    )
+                    post_queue.enqueue(post_idx, weights, delays, syn_type)
+                    events += post_idx.size
+                for rule, pre_name, post_name in plasticity:
+                    rule.step(fired_index[pre_name], fired_index[post_name], dt)
+                elapsed = perf_counter() - start
+                for hook in all_hooks:
+                    hook.on_phase("synapse", step, elapsed, events)
+
+                for _, queue, _ in populations:
+                    queue.rotate()
+                self._step += 1
+        finally:
+            self._live_spikes = None
 
         evaluations = {
             name: self.backend.evaluations_per_step(name)
@@ -266,10 +296,30 @@ class Simulator:
             phases=timer.phases,
             evaluations_per_step=evaluations,
             recording_seconds=recording_seconds,
+            diagnostics=self._collect_diagnostics(),
         )
         for hook in all_hooks:
             hook.on_run_end(result)
         return result
+
+    def _collect_diagnostics(self) -> RunDiagnostics:
+        """Gather reliability observations from the backend's runtimes.
+
+        Fallback events and saturation counters accumulate over the
+        simulator's lifetime, so a result reflects everything observed
+        up to its run's end.
+        """
+        diagnostics = RunDiagnostics()
+        if not isinstance(self.backend, RuntimeBackend):
+            return diagnostics
+        for name, runtime in self.backend.runtimes.items():
+            events = getattr(runtime, "fallback_events", None)
+            if events:
+                diagnostics.fallbacks.extend(events)
+            stats = getattr(runtime, "saturation_stats", None)
+            if stats is not None:
+                diagnostics.saturation[name] = stats
+        return diagnostics
 
     @property
     def current_step(self) -> int:

@@ -70,3 +70,21 @@ class SpikeQueue:
     def pending_total(self) -> float:
         """Sum of all queued weight (useful for conservation tests)."""
         return float(self._ring.sum())
+
+    def snapshot(self) -> dict:
+        """The full ring contents and head position (checkpointing)."""
+        return {"ring": self._ring.copy(), "head": self._head}
+
+    def restore(self, snapshot: dict) -> None:
+        """Overwrite the ring from a :meth:`snapshot`."""
+        ring = np.asarray(snapshot["ring"], dtype=np.float64)
+        if ring.shape != self._ring.shape:
+            raise SimulationError(
+                f"snapshot ring shape {ring.shape} does not match "
+                f"{self._ring.shape}"
+            )
+        head = int(snapshot["head"])
+        if not 0 <= head < self.depth:
+            raise SimulationError(f"snapshot head {head} out of range")
+        self._ring[:] = ring
+        self._head = head

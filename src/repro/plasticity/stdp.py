@@ -26,7 +26,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import CheckpointError, ConfigurationError, SimulationError
 from repro.network.projection import Projection
 
 
@@ -57,6 +57,24 @@ class PlasticityRule(abc.ABC):
         ``fired_pre`` / ``fired_post`` are index arrays of the neurons
         that fired this step in the pre/post populations.
         """
+
+    def snapshot(self) -> dict:
+        """Mutable rule state (traces and weights) for checkpointing.
+
+        The base refuses so a custom rule without checkpoint support
+        fails loudly at capture time instead of resuming wrong.
+        """
+        raise CheckpointError(
+            f"plasticity rule {type(self).__name__} does not support "
+            "checkpointing"
+        )
+
+    def restore(self, payload: dict) -> None:
+        """Overwrite the rule's mutable state from a :meth:`snapshot`."""
+        raise CheckpointError(
+            f"plasticity rule {type(self).__name__} does not support "
+            "checkpointing"
+        )
 
 
 class PairSTDP(PlasticityRule):
@@ -152,3 +170,30 @@ class PairSTDP(PlasticityRule):
         if self.projection.n_synapses == 0:
             return 0.0
         return float(self.projection.weights.mean())
+
+    def snapshot(self) -> dict:
+        if self.projection is None or self._x_pre is None:
+            raise CheckpointError("rule not attached to a projection")
+        # Weights ride along because this rule is what mutates them;
+        # static projections never change and need no capture.
+        return {
+            "x_pre": self._x_pre.copy(),
+            "y_post": self._y_post.copy(),
+            "weights": self.projection.weights.copy(),
+        }
+
+    def restore(self, payload: dict) -> None:
+        if self.projection is None or self._x_pre is None:
+            raise CheckpointError("rule not attached to a projection")
+        for name, target in (
+            ("x_pre", self._x_pre),
+            ("y_post", self._y_post),
+            ("weights", self.projection.weights),
+        ):
+            values = np.asarray(payload[name], dtype=np.float64)
+            if values.shape != target.shape:
+                raise CheckpointError(
+                    f"checkpointed {name} has shape {values.shape}, "
+                    f"expected {target.shape}"
+                )
+            target[:] = values

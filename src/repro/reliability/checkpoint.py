@@ -1,0 +1,236 @@
+"""Checkpoint/resume: make any simulation killable and bit-identically
+resumable.
+
+A multi-hour paper-scale run must survive a crash. A
+:class:`Checkpoint` captures *everything* a
+:class:`~repro.network.simulator.Simulator` needs to continue exactly
+where it stopped:
+
+* the global step index,
+* the stimulus RNG's bit-generator state,
+* every population's :class:`~repro.network.spike_queue.SpikeQueue`
+  ring (in-flight delayed spikes),
+* every population runtime's state, via the runtime ``snapshot`` seam —
+  SoA float blocks (compiled), dict state plus solver counters
+  (solver), raw fixed-point words (hardware), degradation status
+  (fallback),
+* every plasticity rule's traces and mutated weights,
+* optionally the spikes recorded so far, so a resumed run's recorder
+  carries the full train.
+
+Restoring verifies a structural signature (network name, backend name,
+dt, population sizes) and raises
+:class:`~repro.errors.CheckpointError` on any mismatch, so a
+checkpoint can never be silently applied to the wrong simulation. The
+resumed run is bit-identical to an uninterrupted one on every backend —
+pinned by tests on the reference, engine, and hardware paths.
+
+Files are written with :mod:`pickle` (trusted local artifacts, like
+numpy's ``allow_pickle`` files): only load checkpoints you produced.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.hooks import PhaseHook
+from repro.errors import CheckpointError
+from repro.network.backends import RuntimeBackend
+from repro.network.recorder import SpikeRecorder
+from repro.network.simulator import Simulator
+
+#: Bumped whenever the on-disk payload layout changes.
+CHECKPOINT_VERSION = 1
+
+
+def _signature_of(simulator: Simulator) -> Dict[str, object]:
+    return {
+        "network": simulator.network.name,
+        "backend": simulator.backend.name,
+        "dt": simulator.dt,
+        "populations": {
+            name: population.n
+            for name, population in simulator.network.populations.items()
+        },
+    }
+
+
+@dataclass
+class Checkpoint:
+    """A complete, restorable snapshot of one simulator's state."""
+
+    version: int
+    signature: Dict[str, object]
+    step: int
+    rng_state: Dict[str, object]
+    queues: Dict[str, dict]
+    runtimes: Dict[str, dict]
+    plasticity: List[dict]
+    spikes: Optional[Dict[str, tuple]] = field(default=None)
+
+    # -- capture -----------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        simulator: Simulator,
+        spikes: Optional[SpikeRecorder] = None,
+    ) -> "Checkpoint":
+        """Snapshot a simulator between steps.
+
+        ``spikes`` optionally includes a recorder's accumulated spike
+        train so a resumed run can report the full history; pass
+        ``simulator.live_spikes`` when capturing mid-run.
+        """
+        backend = simulator.backend
+        if not isinstance(backend, RuntimeBackend):
+            raise CheckpointError(
+                f"backend {backend.name!r} does not expose population "
+                "runtimes and cannot be checkpointed"
+            )
+        if not backend.runtimes:
+            raise CheckpointError("backend not prepared; nothing to capture")
+        return cls(
+            version=CHECKPOINT_VERSION,
+            signature=_signature_of(simulator),
+            step=simulator.current_step,
+            rng_state=simulator.rng.bit_generator.state,
+            queues={
+                name: queue.snapshot()
+                for name, queue in simulator.queues.items()
+            },
+            runtimes={
+                name: runtime.snapshot()
+                for name, runtime in backend.runtimes.items()
+            },
+            plasticity=[
+                rule.snapshot()
+                for rule in simulator.network.plasticity_rules
+            ],
+            spikes=None if spikes is None else spikes.snapshot(),
+        )
+
+    # -- restore -----------------------------------------------------------
+
+    def restore(self, simulator: Simulator) -> None:
+        """Overwrite a freshly built simulator with this snapshot.
+
+        The simulator must have been constructed over the same network
+        shape, backend kind and dt the checkpoint was captured from.
+        """
+        if self.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {self.version} not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        expected = _signature_of(simulator)
+        if self.signature != expected:
+            raise CheckpointError(
+                f"checkpoint signature {self.signature} does not match "
+                f"this simulator {expected}"
+            )
+        backend = simulator.backend
+        if not isinstance(backend, RuntimeBackend):
+            raise CheckpointError(
+                f"backend {backend.name!r} cannot restore a checkpoint"
+            )
+        if set(self.runtimes) != set(backend.runtimes):
+            raise CheckpointError(
+                "checkpointed populations do not match the backend's"
+            )
+        rules = simulator.network.plasticity_rules
+        if len(self.plasticity) != len(rules):
+            raise CheckpointError(
+                f"checkpoint has {len(self.plasticity)} plasticity rules, "
+                f"the network has {len(rules)}"
+            )
+        simulator.rng.bit_generator.state = self.rng_state
+        for name, payload in self.queues.items():
+            simulator.queues[name].restore(payload)
+        for name, payload in self.runtimes.items():
+            backend.runtimes[name].restore(payload)
+        for rule, payload in zip(rules, self.plasticity):
+            rule.restore(payload)
+        simulator._step = self.step
+
+    def seed_recorder(self) -> SpikeRecorder:
+        """A recorder pre-loaded with the captured spike history.
+
+        Pass it to ``Simulator.run(..., spikes=...)`` so the resumed
+        run appends to the history and reports the full train.
+        """
+        recorder = SpikeRecorder()
+        if self.spikes is not None:
+            recorder.load(self.spikes)
+        return recorder
+
+    # -- file round trip ---------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write atomically (temp file + rename) so a crash mid-write
+        never destroys the previous good checkpoint."""
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".checkpoint-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        """Read a checkpoint written by :meth:`save` (trusted input)."""
+        try:
+            with open(path, "rb") as handle:
+                checkpoint = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError) as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {path!r}: {error}"
+            ) from error
+        if not isinstance(checkpoint, cls):
+            raise CheckpointError(
+                f"{path!r} does not contain a checkpoint"
+            )
+        return checkpoint
+
+
+class CheckpointHook(PhaseHook):
+    """Writes a checkpoint file every N steps during a run.
+
+    Captures at step boundaries (``on_step_start``), where all state —
+    queues, runtimes, RNG — is mutually consistent. The file at
+    ``path`` is atomically replaced each time, so it always holds the
+    latest complete checkpoint.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        every: int,
+        path: str,
+        include_spikes: bool = True,
+    ) -> None:
+        if every < 1:
+            raise CheckpointError(f"every must be >= 1, got {every}")
+        self.simulator = simulator
+        self.every = every
+        self.path = path
+        self.include_spikes = include_spikes
+        #: Checkpoints written so far.
+        self.captures = 0
+
+    def on_step_start(self, step: int) -> None:
+        if step == 0 or step % self.every:
+            return
+        spikes = self.simulator.live_spikes if self.include_spikes else None
+        Checkpoint.capture(self.simulator, spikes=spikes).save(self.path)
+        self.captures += 1

@@ -1,0 +1,138 @@
+"""FallbackRuntime: degrade to the verbatim solver path on a fault.
+
+The compiled step-plan kernels are the fast path, but a long run should
+not die because one population's state went numerically bad — NEST-like
+stacks degrade and account instead. :class:`FallbackRuntime` wraps a
+primary runtime (in practice a
+:class:`~repro.engine.runtime.CompiledRuntime`) and keeps a snapshot of
+the pre-step state; after every advance it screens the primary's
+health, and on a fault it
+
+1. builds the population's :class:`~repro.engine.runtime.SolverRuntime`
+   (the seed reference path, kept verbatim),
+2. loads the *pre-step* snapshot into it — the last state known good,
+3. re-executes the faulting step there, and
+4. records a :class:`~repro.reliability.diagnostics.FallbackEvent`,
+   which the simulator surfaces in ``SimulationResult.diagnostics``.
+
+From that step on the population runs on the solver path. The wrapper
+costs one state copy per step while the primary is healthy — the price
+of being able to replay the faulting step — which is why the policy is
+opt-in (``ReferenceBackend(fault_policy="fallback")``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.runtime import (
+    DIVERGENCE_LIMIT,
+    PopulationRuntime,
+    SolverRuntime,
+)
+from repro.models.base import State
+from repro.reliability.diagnostics import (
+    MAX_REPORTED_INDICES,
+    FallbackEvent,
+)
+
+
+class FallbackRuntime(PopulationRuntime):
+    """Runs a primary runtime; re-seats onto the solver path on fault."""
+
+    def __init__(
+        self,
+        primary: PopulationRuntime,
+        solver_factory: Callable[[], SolverRuntime],
+        limit: Optional[float] = DIVERGENCE_LIMIT,
+    ) -> None:
+        super().__init__(primary.name, primary.n)
+        self.primary = primary
+        self.solver_factory = solver_factory
+        self.limit = limit
+        self.active: PopulationRuntime = primary
+        self.advances = 0
+        #: Every degradation this runtime performed (usually 0 or 1).
+        self.fallback_events: List[FallbackEvent] = []
+        # Pre-step snapshot buffers, allocated once against the
+        # primary's live views and refreshed in place every step.
+        self._snapshot: State = {
+            name: values.copy() for name, values in primary.state().items()
+        }
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this population has fallen back to the solver path."""
+        return self.active is not self.primary
+
+    # -- PopulationRuntime interface --------------------------------------
+
+    def advance(self, inputs: np.ndarray, dt: float) -> np.ndarray:
+        step = self.advances
+        self.advances += 1
+        if self.degraded:
+            return self.active.advance(inputs, dt)
+        for name, values in self.primary.state().items():
+            np.copyto(self._snapshot[name], values)
+        fired = self.primary.advance(inputs, dt)
+        report = self.primary.health(self.limit)
+        if report is None:
+            return fired
+        variable, indices = report
+        return self._degrade(step, variable, indices, inputs, dt)
+
+    def _degrade(
+        self,
+        step: int,
+        variable: str,
+        indices: np.ndarray,
+        inputs: np.ndarray,
+        dt: float,
+    ) -> np.ndarray:
+        solver = self.solver_factory()
+        solver.load_state(self._snapshot)
+        self.fallback_events.append(
+            FallbackEvent(
+                population=self.name,
+                step=step,
+                variable=variable,
+                indices=tuple(
+                    int(i) for i in indices[:MAX_REPORTED_INDICES]
+                ),
+                from_runtime=type(self.primary).__name__,
+                to_runtime=type(solver).__name__,
+            )
+        )
+        self.active = solver
+        return solver.advance(inputs, dt)
+
+    def state(self) -> State:
+        return self.active.state()
+
+    def evaluations_per_step(self) -> float:
+        return self.active.evaluations_per_step()
+
+    def health(self, limit=DIVERGENCE_LIMIT):
+        return self.active.health(limit)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": "fallback",
+            "degraded": self.degraded,
+            "advances": self.advances,
+            "events": list(self.fallback_events),
+            "inner": self.active.snapshot(),
+        }
+
+    def restore(self, payload: Dict[str, object]) -> None:
+        if payload["degraded"] and not self.degraded:
+            self.active = self.solver_factory()
+        elif not payload["degraded"]:
+            self.active = self.primary
+        self.active.restore(payload["inner"])
+        self.advances = int(payload["advances"])
+        self.fallback_events = list(payload["events"])

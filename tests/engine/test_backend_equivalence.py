@@ -11,7 +11,6 @@ Two guarantees are pinned here:
   runtime seam wiring).
 """
 
-import numpy as np
 import pytest
 
 from repro.engine import CompiledRuntime, SolverRuntime

@@ -1,7 +1,6 @@
 """Tests for the Figures 4-8 trace regeneration harness."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.figures4to8 import (
     ALL_FIGURES,
@@ -10,7 +9,6 @@ from repro.experiments.figures4to8 import (
     figure6_spike_initiation,
     figure8_refractory,
     format_figures,
-    run,
     spike_count,
 )
 

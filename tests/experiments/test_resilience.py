@@ -1,0 +1,62 @@
+"""Tests for the fault-injection resilience experiment."""
+
+import pytest
+
+from repro.experiments.resilience import (
+    BACKENDS,
+    SCENARIOS,
+    ResilienceRow,
+    format_resilience,
+    run,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run(steps=100, backends=("reference",))
+
+
+class TestResilienceRows:
+    def test_one_row_per_scenario(self, rows):
+        assert [row.scenario for row in rows] == list(SCENARIOS)
+        assert all(row.backend == "reference" for row in rows)
+
+    def test_clean_scenario_is_a_perfect_match(self, rows):
+        none = rows[0]
+        assert none.scenario == "none"
+        assert none.overlap == 1.0
+        assert none.rate_deviation == 0.0
+        assert none.faults_applied == 0
+
+    def test_fault_scenarios_actually_injected(self, rows):
+        for row in rows[1:]:
+            assert row.faults_applied > 0, row.scenario
+
+    def test_overlap_is_a_fraction(self, rows):
+        for row in rows:
+            assert 0.0 <= row.overlap <= 1.0
+
+    def test_default_backends_cover_reference_and_hardware(self):
+        assert "reference" in BACKENDS
+        assert "folded" in BACKENDS
+
+
+class TestRateDeviation:
+    def test_zero_when_counts_match(self):
+        row = ResilienceRow("r", "none", 100, 100, 1.0, 0)
+        assert row.rate_deviation == 0.0
+
+    def test_relative_change(self):
+        row = ResilienceRow("r", "bit-flip", 100, 80, 0.5, 3)
+        assert row.rate_deviation == pytest.approx(0.2)
+
+    def test_silent_clean_run_handled(self):
+        assert ResilienceRow("r", "none", 0, 0, 1.0, 0).rate_deviation == 0.0
+
+
+class TestFormatting:
+    def test_table_lists_every_row(self, rows):
+        text = format_resilience(rows)
+        for scenario in SCENARIOS:
+            assert scenario in text
+        assert "Spike overlap" in text

@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import CompilationError, ConfigurationError
-from repro.fixedpoint import FLEXON_FORMAT, fx_from_float
 from repro.hardware.array import (
     FLEXON_CLOCK_HZ,
-    FOLDED_CLOCK_HZ,
     FlexonArray,
     FoldedFlexonArray,
     NeuronArray,

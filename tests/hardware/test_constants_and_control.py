@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.errors import ConfigurationError, MicrocodeError
-from repro.features import Feature, FeatureSet, features_for_model
+from repro.features import features_for_model
 from repro.fixedpoint import FLEXON_FORMAT, fx_to_float
 from repro.hardware.constants import prepare_constants
 from repro.hardware.control import (

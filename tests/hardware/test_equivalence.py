@@ -52,7 +52,6 @@ def _drive(name, steps=500, n=24, seed=11):
         )
         fired_fx = flexon.step(raw.copy())
         fired_fd = folded.step(raw.copy())
-        state_fx = flexon.state
         if not np.array_equal(fired_fx, fired_fd):
             stats["bit_exact"] = False
         fd_state = folded.float_state()

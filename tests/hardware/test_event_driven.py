@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.features import MODEL_FEATURES
 from repro.fixedpoint import FLEXON_FORMAT, fx_from_float
 from repro.hardware.compiler import FlexonCompiler
 from repro.hardware.event_driven import (

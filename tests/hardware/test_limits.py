@@ -9,11 +9,19 @@ from repro.errors import (
     SimulationError,
 )
 from repro.features import features_for_model
-from repro.fixedpoint import FLEXON_FORMAT, fx_from_float
+from repro.fixedpoint import (
+    FLEXON_FORMAT,
+    SaturationStats,
+    fx_from_float,
+    observe_saturation,
+)
+from repro.hardware.backend import FlexonBackend
 from repro.hardware.compiler import FlexonCompiler
 from repro.hardware.constants import prepare_constants
 from repro.models import ModelParameters
 from repro.models.registry import create_model
+from repro.network.simulator import Simulator
+from repro.workloads import build_workload, workload_names
 
 DT = 1e-4
 
@@ -115,3 +123,86 @@ class TestSaturationBehaviour:
             model.step(state, np.zeros((1, 4)), DT)
         with pytest.raises(SimulationError):
             model.step(state, np.zeros((2, 3)), DT)
+
+
+#: Workloads whose dynamics transiently exceed the Q9.22 datapath range
+#: at this scale — a real (rare, ~1e-4 rate) clip the accounting layer
+#: made visible; every other Table I workload runs clip-free.
+_KNOWN_SATURATING = {"Destexhe-LTS", "Destexhe-UpDown"}
+
+
+def _saturation_after(workload, steps=100, scale=0.02, seed=7):
+    network = build_workload(workload, scale=scale, seed=seed)
+    simulator = Simulator(network, FlexonBackend(DT), dt=DT, seed=seed + 1)
+    return simulator.run(steps).diagnostics
+
+
+class TestSaturationAccounting:
+    """The paper's formats hold registry workloads without clipping."""
+
+    @pytest.mark.parametrize(
+        "workload",
+        [n for n in workload_names() if n not in _KNOWN_SATURATING],
+    )
+    def test_paper_formats_never_clip_on_workload(self, workload):
+        diagnostics = _saturation_after(workload)
+        assert diagnostics.total_saturations == 0, (
+            f"{workload} clipped: "
+            + "; ".join(
+                f"{pop}: {stats.describe()}"
+                for pop, stats in diagnostics.saturation.items()
+                if stats.total_clipped
+            )
+        )
+        # The zero is meaningful: millions of values were screened.
+        assert all(
+            stats.checked > 0
+            for stats in diagnostics.saturation.values()
+        )
+
+    @pytest.mark.parametrize("workload", sorted(_KNOWN_SATURATING))
+    def test_destexhe_transients_are_counted_not_silent(self, workload):
+        # Before the accounting layer these clips were invisible; now
+        # they are quantified (and rare) instead of silently absorbed.
+        diagnostics = _saturation_after(workload, steps=150)
+        clipped = diagnostics.total_saturations
+        checked = sum(s.checked for s in diagnostics.saturation.values())
+        assert 0 < clipped < checked * 1e-3
+        assert any(
+            fmt.frac_bits == FLEXON_FORMAT.frac_bits
+            and fmt.total_bits == FLEXON_FORMAT.total_bits
+            for stats in diagnostics.saturation.values()
+            for fmt in stats.clipped
+        )
+
+    def test_stats_sink_counts_array_clips(self):
+        stats = SaturationStats()
+        with observe_saturation(stats):
+            fx_from_float(np.array([0.5, 1e9, -1e9]), FLEXON_FORMAT)
+        assert stats.total_clipped == 2
+        assert stats.checked == 3
+
+    def test_no_active_sink_costs_nothing_and_counts_nothing(self):
+        stats = SaturationStats()
+        fx_from_float(np.array([1e9]), FLEXON_FORMAT)  # outside any sink
+        assert stats.total_clipped == 0 and stats.checked == 0
+
+    def test_sinks_nest_and_restore(self):
+        outer, inner = SaturationStats(), SaturationStats()
+        with observe_saturation(outer):
+            fx_from_float(1e9, FLEXON_FORMAT)
+            with observe_saturation(inner):
+                fx_from_float(1e9, FLEXON_FORMAT)
+            fx_from_float(1e9, FLEXON_FORMAT)
+        assert outer.total_clipped == 2
+        assert inner.total_clipped == 1
+
+    def test_merge_accumulates_across_stats(self):
+        a, b = SaturationStats(), SaturationStats()
+        with observe_saturation(a):
+            fx_from_float(1e9, FLEXON_FORMAT)
+        with observe_saturation(b):
+            fx_from_float(np.array([1e9, -1e9]), FLEXON_FORMAT)
+        a.merge(b)
+        assert a.total_clipped == 3
+        assert a.checked == 3

@@ -1,6 +1,5 @@
 """Tests for the Table V microprogram assembler."""
 
-import pytest
 
 from repro.features import Feature, FeatureSet, features_for_model
 from repro.hardware.constants import prepare_constants

@@ -84,6 +84,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "geomean latency" in out
 
+    def test_experiment_resilience_small(self, capsys):
+        code = main(
+            ["experiment", "resilience", "--scale", "0.02", "--steps", "80"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Spike overlap" in out
+        assert "bit-flip" in out
+
+
+class TestCheckpointCli:
+    def test_checkpoint_then_resume_matches_straight_run(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "run.ckpt")
+        base = [
+            "run", "Izhikevich", "--backend", "folded",
+            "--scale", "0.02", "--steps", "150",
+        ]
+        assert main(base) == 0
+        straight = capsys.readouterr().out
+
+        assert main(base + ["--checkpoint-every", "60",
+                            "--checkpoint-path", path]) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume-from", path]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed from" in resumed
+        assert "at step 120" in resumed
+
+        def spike_line(text):
+            return next(line for line in text.splitlines() if "spikes" in line)
+
+        assert spike_line(resumed) == spike_line(straight)
+
+    def test_resume_past_requested_steps_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "run.ckpt")
+        base = [
+            "run", "Izhikevich", "--backend", "folded",
+            "--scale", "0.02",
+        ]
+        assert main(base + ["--steps", "150", "--checkpoint-every", "60",
+                            "--checkpoint-path", path]) == 0
+        capsys.readouterr()
+        assert main(base + ["--steps", "100", "--resume-from", path]) == 2
+        assert "past the requested" in capsys.readouterr().err
+
 
 class TestFrontendCommands:
     def test_example_spec_is_valid_json(self, capsys):

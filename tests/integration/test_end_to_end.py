@@ -5,9 +5,7 @@ import pytest
 
 from repro import Network, PoissonStimulus, Simulator
 from repro.hardware import (
-    FlexonArray,
     FlexonBackend,
-    FoldedFlexonArray,
     FoldedFlexonBackend,
     HybridBackend,
 )

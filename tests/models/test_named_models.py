@@ -5,7 +5,6 @@ import pytest
 
 from repro.features import MODEL_FEATURES
 from repro.models import (
-    AdEx,
     HodgkinHuxley,
     LIF,
     LLIF,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.models import ModelParameters
 from repro.network import (
     Network,
     PatternStimulus,

@@ -1,8 +1,7 @@
 """Property-based tests for the fixed-point substrate."""
 
 import numpy as np
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.fixedpoint import (
     FLEXON_FORMAT,

@@ -1,0 +1,194 @@
+"""Tests: kill-and-resume is bit-identical on every backend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.hardware.backend import FlexonBackend, FoldedFlexonBackend
+from repro.network.backends import ReferenceBackend
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.network.stimulus import PoissonStimulus
+from repro.plasticity import PairSTDP
+from repro.reliability import Checkpoint, CheckpointHook
+
+DT = 1e-4
+
+BACKENDS = {
+    "engine": lambda: ReferenceBackend("Euler"),
+    "solver": lambda: ReferenceBackend("Euler", use_engine=False),
+    "rkf45": lambda: ReferenceBackend("RKF45"),
+    "fallback": lambda: ReferenceBackend("Euler", fault_policy="fallback"),
+    "flexon": lambda: FlexonBackend(DT),
+    "folded": lambda: FoldedFlexonBackend(DT),
+}
+
+
+def _network(plastic=False):
+    rng = np.random.default_rng(77)
+    network = Network("ckpt-net")
+    exc = network.add_population("exc", 30, "DLIF")
+    network.add_population("inh", 8, "DLIF")
+    network.connect(
+        "exc", "exc", probability=0.2, weight=0.05, syn_type=0, rng=rng,
+        delay_steps=1, delay_jitter=3,
+    )
+    projection = network.connect(
+        "inh", "exc", probability=0.2, weight=0.15, syn_type=1, rng=rng
+    )
+    if plastic:
+        network.add_plasticity(projection, PairSTDP())
+    network.connect(
+        "exc", "inh", probability=0.2, weight=0.06, syn_type=0, rng=rng
+    )
+    network.add_stimulus(
+        PoissonStimulus(exc, rate_hz=800.0, weight=0.09, dt=DT, n_sources=8)
+    )
+    return network
+
+
+def _final_state(simulator):
+    return {
+        name: {k: v.copy() for k, v in runtime.state().items()}
+        for name, runtime in simulator.backend.runtimes.items()
+    }
+
+
+def _spike_sets(result, network):
+    return {
+        name: result.spikes.result(name).spike_pairs()
+        for name in network.populations
+    }
+
+
+def _run_uninterrupted(make_backend, steps, plastic=False):
+    network = _network(plastic)
+    simulator = Simulator(network, make_backend(), dt=DT, seed=11)
+    result = simulator.run(steps)
+    return _spike_sets(result, network), _final_state(simulator)
+
+
+def _run_resumed(make_backend, kill_at, steps, tmp_path, plastic=False):
+    """Run to ``kill_at``, checkpoint to disk, resume in a NEW simulator."""
+    network = _network(plastic)
+    simulator = Simulator(network, make_backend(), dt=DT, seed=11)
+    first = simulator.run(kill_at)
+    path = str(tmp_path / "state.ckpt")
+    Checkpoint.capture(simulator, spikes=first.spikes).save(path)
+    del simulator  # the "crash"
+
+    checkpoint = Checkpoint.load(path)
+    network2 = _network(plastic)
+    simulator2 = Simulator(network2, make_backend(), dt=DT, seed=11)
+    checkpoint.restore(simulator2)
+    assert simulator2.current_step == kill_at
+    result = simulator2.run(
+        steps - kill_at, spikes=checkpoint.seed_recorder()
+    )
+    return _spike_sets(result, network2), _final_state(simulator2)
+
+
+class TestBitIdenticalResume:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_resume_equals_uninterrupted(self, backend, tmp_path):
+        make = BACKENDS[backend]
+        whole_spikes, whole_state = _run_uninterrupted(make, 60)
+        part_spikes, part_state = _run_resumed(make, 23, 60, tmp_path)
+        assert part_spikes == whole_spikes
+        for name in whole_state:
+            for variable, values in whole_state[name].items():
+                assert np.array_equal(values, part_state[name][variable]), (
+                    f"{name}.{variable} differs after resume"
+                )
+
+    def test_resume_preserves_plasticity_bit_identically(self, tmp_path):
+        make = BACKENDS["engine"]
+        whole_spikes, whole_state = _run_uninterrupted(make, 60, plastic=True)
+        part_spikes, part_state = _run_resumed(
+            make, 31, 60, tmp_path, plastic=True
+        )
+        assert part_spikes == whole_spikes
+        for name in whole_state:
+            for variable, values in whole_state[name].items():
+                assert np.array_equal(values, part_state[name][variable])
+
+
+class TestCheckpointHook:
+    def test_periodic_hook_resumes_bit_identically(self, tmp_path):
+        make = BACKENDS["engine"]
+        path = str(tmp_path / "periodic.ckpt")
+
+        network = _network()
+        simulator = Simulator(network, make(), dt=DT, seed=11)
+        hook = CheckpointHook(simulator, every=17, path=path)
+        simulator.run(40, hooks=[hook])  # checkpoints at steps 17, 34
+        assert hook.captures == 2
+
+        checkpoint = Checkpoint.load(path)
+        assert checkpoint.step == 34
+        simulator2 = Simulator(_network(), make(), dt=DT, seed=11)
+        checkpoint.restore(simulator2)
+        result = simulator2.run(26, spikes=checkpoint.seed_recorder())
+
+        whole_spikes, whole_state = _run_uninterrupted(make, 60)
+        assert _spike_sets(result, simulator2.network) == whole_spikes
+        assert simulator2.current_step == 60
+
+    def test_hook_validates_interval(self, small_network):
+        simulator = Simulator(small_network, dt=DT, seed=1)
+        with pytest.raises(CheckpointError):
+            CheckpointHook(simulator, every=0, path="x.ckpt")
+
+
+class TestSafetyChecks:
+    def _checkpoint(self):
+        simulator = Simulator(_network(), ReferenceBackend(), dt=DT, seed=11)
+        simulator.run(5)
+        return Checkpoint.capture(simulator)
+
+    def test_wrong_population_sizes_rejected(self):
+        checkpoint = self._checkpoint()
+        other = Network("ckpt-net")
+        other.add_population("exc", 31, "DLIF")  # 30 in the original
+        other.add_population("inh", 8, "DLIF")
+        simulator = Simulator(other, ReferenceBackend(), dt=DT, seed=11)
+        with pytest.raises(CheckpointError, match="signature"):
+            checkpoint.restore(simulator)
+
+    def test_wrong_backend_rejected(self):
+        checkpoint = self._checkpoint()
+        simulator = Simulator(_network(), FlexonBackend(DT), dt=DT, seed=11)
+        with pytest.raises(CheckpointError, match="signature"):
+            checkpoint.restore(simulator)
+
+    def test_wrong_dt_rejected(self):
+        checkpoint = self._checkpoint()
+        simulator = Simulator(_network(), ReferenceBackend(), dt=2e-4, seed=11)
+        with pytest.raises(CheckpointError, match="signature"):
+            checkpoint.restore(simulator)
+
+    def test_unknown_version_rejected(self):
+        checkpoint = self._checkpoint()
+        checkpoint.version = 999
+        simulator = Simulator(_network(), ReferenceBackend(), dt=DT, seed=11)
+        with pytest.raises(CheckpointError, match="version"):
+            checkpoint.restore(simulator)
+
+    def test_missing_file_is_a_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            Checkpoint.load(str(tmp_path / "nope.ckpt"))
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(CheckpointError, match="does not contain"):
+            Checkpoint.load(str(path))
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        checkpoint = self._checkpoint()
+        path = tmp_path / "atomic.ckpt"
+        checkpoint.save(str(path))
+        checkpoint.save(str(path))  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["atomic.ckpt"]

@@ -1,0 +1,105 @@
+"""Tests: the degrade policy re-seats faulting populations mid-run."""
+
+import numpy as np
+import pytest
+
+from repro.engine.runtime import CompiledRuntime, SolverRuntime
+from repro.errors import ConfigurationError
+from repro.network.backends import ReferenceBackend
+from repro.network.simulator import Simulator
+from repro.reliability import FallbackRuntime, FaultInjector
+
+DT = 1e-4
+
+
+def _simulator(small_network):
+    return Simulator(
+        small_network,
+        ReferenceBackend("Euler", fault_policy="fallback"),
+        dt=DT,
+        seed=3,
+    )
+
+
+class TestPolicyConfiguration:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="fault_policy"):
+            ReferenceBackend("Euler", fault_policy="bogus")
+
+    def test_fallback_policy_wraps_compiled_runtimes(self, small_network):
+        simulator = _simulator(small_network)
+        for runtime in simulator.backend.runtimes.values():
+            assert isinstance(runtime, FallbackRuntime)
+            assert isinstance(runtime.primary, CompiledRuntime)
+            assert not runtime.degraded
+
+    def test_propagate_policy_keeps_bare_runtimes(self, small_network):
+        simulator = Simulator(
+            small_network, ReferenceBackend("Euler"), dt=DT, seed=3
+        )
+        for runtime in simulator.backend.runtimes.values():
+            assert isinstance(runtime, CompiledRuntime)
+
+
+class TestDegradation:
+    def test_injected_nan_triggers_recorded_fallback(self, small_network):
+        simulator = _simulator(small_network)
+        simulator.run(10)
+        FaultInjector(simulator).inject_nan("exc", variable="v", index=2)
+        result = simulator.run(5)  # survives; no exception
+        events = result.diagnostics.fallbacks
+        assert len(events) == 1
+        event = events[0]
+        assert event.population == "exc"
+        assert event.step == 10  # detected within one step
+        assert event.variable == "v"
+        assert 2 in event.indices
+        assert event.from_runtime == "CompiledRuntime"
+        assert event.to_runtime == "SolverRuntime"
+        assert not result.diagnostics.healthy()
+        assert event.describe()  # human-readable, non-empty
+
+    def test_degraded_population_runs_on_solver(self, small_network):
+        simulator = _simulator(small_network)
+        FaultInjector(simulator).inject_nan("exc")
+        simulator.run(3)
+        runtime = simulator.backend.runtime("exc")
+        assert runtime.degraded
+        assert isinstance(runtime.active, SolverRuntime)
+        # The untouched population stays on the fast path.
+        assert not simulator.backend.runtime("inh").degraded
+
+    def test_healthy_run_never_degrades(self, small_network):
+        simulator = _simulator(small_network)
+        result = simulator.run(30)
+        assert result.diagnostics.fallbacks == []
+        assert result.diagnostics.healthy()
+        for runtime in simulator.backend.runtimes.values():
+            assert not runtime.degraded
+
+    def test_fallback_matches_propagate_when_healthy(self, small_network):
+        def spikes(policy):
+            simulator = Simulator(
+                small_network,
+                ReferenceBackend("Euler", fault_policy=policy),
+                dt=DT,
+                seed=3,
+            )
+            result = simulator.run(40)
+            return {
+                name: result.spikes.result(name).spike_pairs()
+                for name in small_network.populations
+            }
+
+        assert spikes("propagate") == spikes("fallback")
+
+    def test_replay_restarts_from_pre_step_state(self, small_network):
+        # The solver replays the faulting step from the last-good
+        # snapshot, so every non-poisoned neuron's state stays finite
+        # and equal to what the compiled path would have produced.
+        simulator = _simulator(small_network)
+        simulator.run(5)
+        FaultInjector(simulator).inject_nan("exc", variable="v", index=0)
+        simulator.run(5)
+        state = simulator.backend.runtime("exc").state()
+        assert np.isfinite(state["v"][1:]).all()

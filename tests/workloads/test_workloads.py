@@ -9,7 +9,6 @@ from repro.workloads import (
     WORKLOADS,
     build_workload,
     get_spec,
-    workload_names,
 )
 from repro.workloads.spec import WorkloadSpec, scaled_probability
 
