@@ -14,6 +14,14 @@ Subcommands:
     and the phase breakdown. ``--checkpoint-every N`` writes a
     restorable checkpoint file every N steps; ``--resume-from PATH``
     continues a killed run bit-identically from its last checkpoint.
+    Telemetry: ``--trace OUT.json`` writes a Perfetto/chrome://tracing
+    timeline, ``--stats-json PATH`` dumps the run's statistics as
+    JSON, ``--prometheus PATH`` writes the metrics registry in
+    Prometheus text exposition format.
+``profile``
+    Run registry workloads bare vs. fully instrumented; report
+    per-phase/per-population p50/p95 wall time, ops/sec, and the
+    telemetry overhead delta; write ``BENCH_profile.json``.
 ``experiment NAME``
     Regenerate one paper artifact (``figure3``, ``figures4to8``,
     ``table3``, ``table5``, ``figure12``, ``table6``, ``figure13``,
@@ -137,7 +145,24 @@ def _cmd_run(args) -> int:
                 simulator, args.checkpoint_every, args.checkpoint_path
             )
         )
-    result = simulator.run(remaining, hooks=hooks, spikes=spikes)
+    trace = None
+    if args.trace:
+        from repro.telemetry import TraceHook
+
+        trace = (
+            TraceHook()
+            if args.trace_max_events is None
+            else TraceHook(max_events=args.trace_max_events)
+        )
+        hooks.append(trace)
+    metrics = None
+    if args.stats_json or args.prometheus:
+        from repro.telemetry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    result = simulator.run(
+        remaining, hooks=hooks, spikes=spikes, metrics=metrics
+    )
     duration = simulator.current_step * args.dt
     rate = result.total_spikes() / max(1, network.n_neurons) / duration
     print(
@@ -151,6 +176,54 @@ def _cmd_run(args) -> int:
         print("reliability diagnostics:")
         for line in result.diagnostics.summary().splitlines():
             print(f"  {line}")
+    if trace is not None:
+        trace.save(args.trace)
+        print(
+            f"wrote trace {args.trace!r} "
+            f"({len(trace.to_trace_events())} events, "
+            f"{trace.dropped_events} dropped) — load it in "
+            f"chrome://tracing or https://ui.perfetto.dev"
+        )
+    if args.stats_json:
+        import json
+
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_stats_dict(), handle, indent=2)
+        print(f"wrote run statistics {args.stats_json!r}")
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as handle:
+            handle.write(metrics.to_prometheus())
+        print(f"wrote Prometheus metrics {args.prometheus!r}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.telemetry import profile
+
+    workloads = (
+        [name.strip() for name in args.workloads.split(",") if name.strip()]
+        if args.workloads
+        else list(profile.DEFAULT_WORKLOADS)
+    )
+    steps, scale, reps = args.steps, args.scale, args.reps
+    if args.quick:
+        steps, scale, reps = min(steps, 120), min(scale, 0.05), min(reps, 2)
+    payload = profile.run_profile(
+        workloads,
+        backend=args.backend,
+        steps=steps,
+        scale=scale,
+        reps=reps,
+        seed=args.seed,
+        trace_path=args.trace,
+        progress=print,
+    )
+    print()
+    print(profile.format_profile(payload))
+    profile.write_profile(payload, args.output)
+    print(f"\nwrote {args.output}")
+    if args.trace:
+        print(f"wrote sample trace {args.trace!r}")
     return 0
 
 
@@ -302,6 +375,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume bit-identically from a checkpoint file; --steps "
         "is the total step count including the checkpointed prefix",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="write a chrome://tracing / Perfetto trace of the run",
+    )
+    run.add_argument(
+        "--trace-max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace ring-buffer capacity (default: TraceHook's bound)",
+    )
+    run.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="dump phase stats, counters, diagnostics and metrics as JSON",
+    )
+    run.add_argument(
+        "--prometheus",
+        default=None,
+        metavar="PATH",
+        help="write run metrics in Prometheus text exposition format",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="measure per-phase/per-population latency and telemetry "
+        "overhead; write BENCH_profile.json",
+    )
+    profile.add_argument(
+        "--workloads",
+        default=None,
+        metavar="A,B,C",
+        help="comma-separated Table I workload names "
+        "(default: Brunel, Izhikevich, Nowotny et al.)",
+    )
+    profile.add_argument(
+        "--backend",
+        choices=("reference", "flexon", "folded", "event-driven"),
+        default="reference",
+    )
+    profile.add_argument("--steps", type=int, default=240)
+    profile.add_argument("--scale", type=float, default=0.1)
+    profile.add_argument("--reps", type=int, default=3)
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI preset: caps steps/scale/reps for a fast smoke profile",
+    )
+    profile.add_argument(
+        "--output",
+        default="BENCH_profile.json",
+        help="where to write the machine-readable profile",
+    )
+    profile.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="also save the first workload's instrumented trace",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -331,6 +467,7 @@ _COMMANDS = {
     "models": _cmd_models,
     "microcode": _cmd_microcode,
     "run": _cmd_run,
+    "profile": _cmd_profile,
     "experiment": _cmd_experiment,
     "simulate": _cmd_simulate,
     "example-spec": _cmd_example_spec,

@@ -16,13 +16,21 @@ that actually advances neuron state. It has three parts:
   instrumentation for the simulator loop.
 """
 
-from repro.engine.hooks import PHASES, PhaseHook, PhaseStats, PhaseTimer, PhaseTrace
+from repro.engine.hooks import (
+    PHASES,
+    HookError,
+    PhaseHook,
+    PhaseStats,
+    PhaseTimer,
+    PhaseTrace,
+)
 from repro.engine.plan import StepPlan, compile_step_plan, supports_step_plan
 from repro.engine.runtime import CompiledRuntime, PopulationRuntime, SolverRuntime
 
 __all__ = [
     "PHASES",
     "CompiledRuntime",
+    "HookError",
     "PhaseHook",
     "PhaseStats",
     "PhaseTimer",

@@ -8,12 +8,28 @@ the built-in :class:`PhaseTimer` turns them into the
 ``SimulationResult.phases`` statistics, and user hooks can layer
 tracing, profiling, or progress reporting on the same stream without
 touching the hot loop.
+
+Hooks that override :meth:`PhaseHook.on_population` additionally
+receive one *kernel span* per population per step — the wall time of
+that population's ``advance`` inside the neuron phase. The simulator
+only pays for the extra clock reads while such a hook is attached.
+
+Failure semantics (pinned by tests): the built-in timer always closes
+a phase *before* user hooks see it, so no hook can corrupt phase
+accounting. A hook that raises a structured
+:class:`~repro.errors.ReproError` is treated as deliberate (e.g.
+``NumericsGuard``, ``CheckpointHook``) and propagates; any other
+exception is isolated — the hook is detached for the rest of the run
+and the failure is recorded as a :class:`HookError` on
+``SimulationResult.hook_errors`` (and the ``sim_hook_errors_total``
+metric), with a ``RuntimeWarning`` emitted so it cannot pass silently.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: Canonical phase order of one simulated time step (Section II-C).
 PHASES = ("stimulus", "neuron", "synapse")
@@ -29,6 +45,26 @@ class PhaseStats:
     def add(self, seconds: float, operations: int) -> None:
         self.seconds += seconds
         self.operations += operations
+
+
+@dataclass(frozen=True)
+class HookError:
+    """One isolated user-hook failure (see module docstring)."""
+
+    #: Class name of the hook that raised.
+    hook: str
+    #: Callback that raised (``on_phase``, ``on_step_start``, ...).
+    callback: str
+    #: Step index at which the failure happened.
+    step: int
+    #: ``repr`` of the exception (the original is not kept alive).
+    error: str
+
+    def describe(self) -> str:
+        return (
+            f"step {self.step}: {self.hook}.{self.callback} raised "
+            f"{self.error}; hook detached for the rest of the run"
+        )
 
 
 class PhaseHook:
@@ -48,6 +84,16 @@ class PhaseHook:
 
     def on_phase(self, phase: str, step: int, seconds: float, operations: int) -> None:
         """Called after each phase with its wall time and op count."""
+
+    def on_population(
+        self, population: str, step: int, seconds: float, operations: int
+    ) -> None:
+        """Called per population with its neuron-kernel wall time.
+
+        Only fires while at least one attached hook overrides this
+        method (and does not set ``wants_population_spans = False``) —
+        the simulator skips the per-population clock reads otherwise.
+        """
 
     def on_run_end(self, result) -> None:
         """Called once with the finished ``SimulationResult``."""
@@ -70,15 +116,37 @@ class PhaseTrace(PhaseHook):
 
     Stores ``(step, phase, seconds, operations)`` tuples; useful for
     inspecting per-step cost evolution (e.g. warm-up effects) rather
-    than run-level aggregates.
+    than run-level aggregates. ``max_events`` bounds the storage as a
+    ring buffer keeping the most recent events (default ``None`` keeps
+    everything, the historical behaviour); ``dropped_events`` counts
+    what the ring evicted.
     """
 
-    def __init__(self) -> None:
-        self.events: List[Tuple[int, str, float, int]] = []
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self.events: "deque[Tuple[int, str, float, int]]" = deque(
+            maxlen=max_events
+        )
+        self.max_events = max_events
+        #: Total events observed, including ones the ring evicted.
+        self.total_events = 0
 
     def on_phase(self, phase: str, step: int, seconds: float, operations: int) -> None:
+        self.total_events += 1
         self.events.append((step, phase, seconds, operations))
+
+    @property
+    def dropped_events(self) -> int:
+        """Events evicted by the ring buffer (0 while within capacity)."""
+        return self.total_events - len(self.events)
 
     def steps_recorded(self) -> int:
         """Number of distinct steps that produced at least one event."""
         return len({step for step, *_ in self.events})
+
+    def durations_of(self, phase: str) -> List[float]:
+        """Buffered per-event durations (seconds) of one phase."""
+        return [
+            seconds
+            for _, name, seconds, _ in self.events
+            if name == phase
+        ]

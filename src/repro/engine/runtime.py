@@ -69,6 +69,22 @@ class PopulationRuntime(abc.ABC):
         """Solver evaluations charged per step (cost-model input)."""
         return 1.0
 
+    # -- telemetry seam ----------------------------------------------------
+
+    def publish_metrics(self, metrics) -> None:
+        """Publish this runtime's lifetime counters into a registry.
+
+        Called at collect time (run end), never on the hot path.
+        Lifetime tallies use ``Counter.set_total`` so repeated runs of
+        one simulator stay monotone. Subclasses extend with their own
+        counters and call ``super().publish_metrics(metrics)``.
+        """
+        metrics.gauge(
+            "runtime_neurons",
+            "Neurons owned by each population runtime.",
+            {"population": self.name},
+        ).set(self.n)
+
     # -- reliability seam --------------------------------------------------
 
     def health(
@@ -332,6 +348,14 @@ class CompiledRuntime(PopulationRuntime):
         self.advances += 1
         return self._kernel(inputs)
 
+    def publish_metrics(self, metrics) -> None:
+        super().publish_metrics(metrics)
+        metrics.counter(
+            "runtime_advances_total",
+            "Population steps executed by each runtime.",
+            {"population": self.name, "runtime": "compiled"},
+        ).set_total(self.advances)
+
     def state(self) -> State:
         return self._views
 
@@ -380,6 +404,20 @@ class SolverRuntime(PopulationRuntime):
 
     def evaluations_per_step(self) -> float:
         return self.solver.evaluations_per_step()
+
+    def publish_metrics(self, metrics) -> None:
+        super().publish_metrics(metrics)
+        labels = {"population": self.name, "runtime": "solver"}
+        metrics.counter(
+            "runtime_advances_total",
+            "Population steps executed by each runtime.",
+            labels,
+        ).set_total(self.solver.advances)
+        metrics.counter(
+            "runtime_solver_evaluations_total",
+            "Derivative/step evaluations performed by the solver.",
+            labels,
+        ).set_total(self.solver.evaluations)
 
     def load_state(self, state: State) -> None:
         """Overwrite the dict state in place (keeps recorder views live)."""

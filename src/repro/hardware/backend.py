@@ -86,6 +86,21 @@ class HardwareRuntime(PopulationRuntime):
     def state(self) -> State:
         return self.neuron.float_state()
 
+    def publish_metrics(self, metrics) -> None:
+        super().publish_metrics(metrics)
+        labels = {"population": self.name, "runtime": "hardware"}
+        metrics.counter(
+            "fixedpoint_saturation_checked_total",
+            "Values screened by the saturation accounting.",
+            labels,
+        ).set_total(self.saturation_stats.checked)
+        for fmt, clipped in self.saturation_stats.clipped.items():
+            metrics.counter(
+                "fixedpoint_saturation_clipped_total",
+                "Values the fixed-point datapaths clipped.",
+                {"population": self.name, "format": fmt.describe()},
+            ).set_total(clipped)
+
     def snapshot(self) -> Dict[str, object]:
         return {"kind": "hardware", "neuron": self.neuron.snapshot()}
 

@@ -127,6 +127,25 @@ class EventDrivenRuntime(HardwareRuntime):
     def activity_factor(self) -> float:
         return self.monitor.activity_factor
 
+    def publish_metrics(self, metrics) -> None:
+        super().publish_metrics(metrics)
+        labels = {"population": self.name}
+        metrics.gauge(
+            "event_driven_activity_factor",
+            "Fraction of neuron updates that actually needed computing.",
+            labels,
+        ).set(self.monitor.activity_factor)
+        metrics.counter(
+            "event_driven_active_updates_total",
+            "Neuron updates classified as active (not skippable).",
+            labels,
+        ).set_total(self.monitor.active_updates)
+        metrics.counter(
+            "event_driven_total_updates_total",
+            "Neuron updates classified by the event-driven monitor.",
+            labels,
+        ).set_total(self.monitor.total_updates)
+
 
 class EventDrivenFlexonBackend(_HardwareBackendBase):
     """Flexon backend that tracks per-population activity factors.

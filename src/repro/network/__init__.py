@@ -23,10 +23,11 @@ from repro.network.simulator import (
     SimulationResult,
     Simulator,
 )
-from repro.engine.hooks import PhaseHook, PhaseTimer, PhaseTrace
+from repro.engine.hooks import HookError, PhaseHook, PhaseTimer, PhaseTrace
 
 __all__ = [
     "Backend",
+    "HookError",
     "Network",
     "PHASES",
     "PatternStimulus",

@@ -65,6 +65,13 @@ class Backend(abc.ABC):
         """Solver evaluations charged per step (cost-model input)."""
         return 1.0
 
+    def publish_metrics(self, metrics) -> None:
+        """Publish backend counters into a telemetry registry.
+
+        The base backend has nothing to report; runtime-seam backends
+        delegate to each population runtime.
+        """
+
 
 class RuntimeBackend(Backend):
     """Base class for backends that execute through population runtimes.
@@ -113,6 +120,10 @@ class RuntimeBackend(Backend):
 
     def evaluations_per_step(self, population: str) -> float:
         return self.runtime(population).evaluations_per_step()
+
+    def publish_metrics(self, metrics) -> None:
+        for runtime in self._runtimes.values():
+            runtime.publish_metrics(metrics)
 
 
 class ReferenceBackend(RuntimeBackend):

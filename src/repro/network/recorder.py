@@ -109,18 +109,41 @@ class SpikeRecorder:
 
 @dataclass
 class StateRecorder:
-    """Samples chosen state variables of chosen neurons every step."""
+    """Samples chosen state variables of chosen neurons over time.
+
+    ``every`` sets the sampling interval in simulator steps: 1 (the
+    default) samples every step, N keeps the first of every N offered
+    samples — long runs can record coarse traces without paying full
+    per-step sampling cost or memory.
+    """
 
     population: str
     variables: Sequence[str]
     neurons: Sequence[int] = field(default_factory=lambda: [0])
+    every: int = 1
     traces: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    #: Samples offered by the simulator so far (including skipped ones).
+    samples_offered: int = 0
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
 
     def sample(self, state: Dict[str, np.ndarray]) -> None:
-        """Append the current values of the tracked variables."""
+        """Append the tracked variables (honouring the interval)."""
+        offered = self.samples_offered
+        self.samples_offered = offered + 1
+        if offered % self.every:
+            return
         idx = np.asarray(self.neurons, dtype=np.int64)
         for var in self.variables:
             self.traces.setdefault(var, []).append(state[var][idx].copy())
+
+    def samples_kept(self) -> int:
+        """Number of samples actually recorded so far."""
+        if not self.traces:
+            return 0
+        return max(len(chunks) for chunks in self.traces.values())
 
     def trace(self, variable: str) -> np.ndarray:
         """A (steps, len(neurons)) array for one variable."""

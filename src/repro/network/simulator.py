@@ -27,18 +27,43 @@ sampling is timed separately (``SimulationResult.recording_seconds``)
 and deliberately charged to *no* phase — it is measurement overhead,
 not simulation work — so phase fractions both sum to one and reflect
 only the three real phases.
+
+Two observability seams ride on the loop without taxing it when off:
+
+* ``hooks`` are dispatched through per-callback lists built once per
+  run from which callbacks each hook actually overrides, so a hook
+  that only implements ``on_run_end`` costs nothing per step.
+  Per-population kernel spans (``on_population``) are only timed while
+  a span-consuming hook is attached. Hook failures follow the
+  semantics pinned in :mod:`repro.engine.hooks`: structured
+  ``ReproError``\\ s propagate after the phase is closed, anything else
+  is isolated into ``SimulationResult.hook_errors``.
+* ``metrics`` accepts a
+  :class:`~repro.telemetry.registry.MetricsRegistry`; the loop then
+  observes each step's duration into a histogram, and at run end the
+  phase totals, spike/queue counters, the backend's per-runtime
+  counters (advances, saturation, fallbacks, activity), and the
+  reliability diagnostics are published as ordinary counters/gauges.
+  The JSON snapshot lands on ``SimulationResult.metrics``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+import warnings
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.hooks import PHASES, PhaseHook, PhaseStats, PhaseTimer
-from repro.errors import SimulationError
+from repro.engine.hooks import (
+    PHASES,
+    HookError,
+    PhaseHook,
+    PhaseStats,
+    PhaseTimer,
+)
+from repro.errors import ReproError, SimulationError
 from repro.network.backends import Backend, ReferenceBackend, RuntimeBackend
 from repro.network.network import Network
 from repro.network.recorder import SpikeRecorder, StateRecorder
@@ -47,6 +72,7 @@ from repro.reliability.diagnostics import RunDiagnostics
 
 __all__ = [
     "PHASES",
+    "HookError",
     "PhaseStats",
     "SimulationResult",
     "Simulator",
@@ -74,6 +100,11 @@ class SimulationResult:
     #: What the reliability layer observed: solver fallbacks and
     #: fixed-point saturation accounting (empty == fault-free run).
     diagnostics: RunDiagnostics = field(default_factory=RunDiagnostics)
+    #: User hooks isolated mid-run (empty == every hook behaved).
+    hook_errors: List[HookError] = field(default_factory=list)
+    #: JSON snapshot of the run's metrics registry (None when the run
+    #: was not passed a registry).
+    metrics: Optional[Dict[str, dict]] = None
 
     @property
     def neuron_updates(self) -> int:
@@ -95,16 +126,63 @@ class SimulationResult:
         return sum(stats.seconds for stats in self.phases.values())
 
     def phase_fractions(self) -> Dict[str, float]:
-        """Wall-clock share of each phase (sums to 1 when any time passed)."""
+        """Wall-clock share of each phase (sums to 1 when any time passed).
+
+        Every canonical phase is always present in the result — a
+        phase with no recorded stats (or a zero-duration run) reports
+        a fraction of exactly 0.0 rather than going missing.
+        """
         total = self.total_seconds
+        fractions = {phase: 0.0 for phase in PHASES}
         if total <= 0.0:
-            return {phase: 0.0 for phase in PHASES}
-        return {
-            phase: stats.seconds / total for phase, stats in self.phases.items()
-        }
+            return fractions
+        for phase, stats in self.phases.items():
+            fractions[phase] = stats.seconds / total
+        return fractions
 
     def total_spikes(self) -> int:
         return self.spikes.total_spikes()
+
+    def to_stats_dict(self) -> dict:
+        """The run's statistics as one JSON-serialisable document.
+
+        This is what ``repro run --stats-json`` writes, so experiments
+        consume structured output instead of scraping stdout.
+        """
+        phases = {
+            name: {"seconds": stats.seconds, "operations": stats.operations}
+            for name, stats in self.phases.items()
+        }
+        counters = {
+            name: self.phases[phase].operations
+            for name, phase in (
+                ("neuron_updates", "neuron"),
+                ("synaptic_events", "synapse"),
+                ("stimulus_events", "stimulus"),
+            )
+            if phase in self.phases
+        }
+        counters["total_spikes"] = self.total_spikes()
+        return {
+            "schema": "repro-run-stats/1",
+            "network": self.network_name,
+            "backend": self.backend_name,
+            "n_steps": self.n_steps,
+            "dt": self.dt,
+            "total_seconds": self.total_seconds,
+            "recording_seconds": self.recording_seconds,
+            "phases": phases,
+            "phase_fractions": self.phase_fractions(),
+            "counters": counters,
+            "spikes_per_population": {
+                name: self.spikes.result(name).n_spikes
+                for name in self.spikes.populations()
+            },
+            "evaluations_per_step": dict(self.evaluations_per_step),
+            "diagnostics": self.diagnostics.to_dict(),
+            "hook_errors": [asdict(error) for error in self.hook_errors],
+            "metrics": self.metrics,
+        }
 
 
 class Simulator:
@@ -181,6 +259,34 @@ class Simulator:
         ]
         return stimuli, populations, projections, plasticity
 
+    @staticmethod
+    def _hook_dispatch(hooks: Sequence[PhaseHook]):
+        """Per-callback dispatch lists: only hooks that override a
+        callback are called for it, so an attached hook costs exactly
+        the callbacks it implements.
+        """
+
+        def overriding(callback: str) -> List[PhaseHook]:
+            base = getattr(PhaseHook, callback)
+            return [
+                hook
+                for hook in hooks
+                if getattr(type(hook), callback) is not base
+            ]
+
+        span_hooks = [
+            hook
+            for hook in overriding("on_population")
+            if getattr(hook, "wants_population_spans", True)
+        ]
+        return {
+            "on_run_start": overriding("on_run_start"),
+            "on_step_start": overriding("on_step_start"),
+            "on_phase": overriding("on_phase"),
+            "on_population": span_hooks,
+            "on_run_end": overriding("on_run_end"),
+        }
+
     # -- main loop ------------------------------------------------------------
 
     def run(
@@ -190,6 +296,7 @@ class Simulator:
         state_recorders: Sequence[StateRecorder] = (),
         hooks: Sequence[PhaseHook] = (),
         spikes: Optional[SpikeRecorder] = None,
+        metrics=None,
     ) -> SimulationResult:
         """Simulate ``n_steps`` time steps and return the results.
 
@@ -198,14 +305,72 @@ class Simulator:
         that produces ``result.phases`` is always attached. ``spikes``
         optionally supplies the recorder to append into — a resumed run
         passes ``Checkpoint.seed_recorder()`` so the result reports the
-        full spike train, not just the resumed tail.
+        full spike train, not just the resumed tail. ``metrics``
+        optionally supplies a
+        :class:`~repro.telemetry.registry.MetricsRegistry` the run
+        publishes into (its JSON snapshot lands on
+        ``result.metrics``).
         """
         if n_steps < 0:
             raise SimulationError(f"n_steps must be non-negative, got {n_steps}")
         recorder = spikes if spikes is not None else SpikeRecorder()
         self._live_spikes = recorder
+        spikes_before = recorder.total_spikes()
         timer = PhaseTimer()
-        all_hooks: Tuple[PhaseHook, ...] = (timer, *hooks)
+        timer_on_phase = timer.on_phase
+        dispatch = self._hook_dispatch(tuple(hooks))
+        # Hot-path dispatch tables pre-bind each hook's callback so the
+        # step loop never pays per-event method binding; they are
+        # rebuilt by ``isolate_failures`` whenever a hook is detached.
+        step_dispatch = [(h, h.on_step_start) for h in dispatch["on_step_start"]]
+        phase_dispatch = [(h, h.on_phase) for h in dispatch["on_phase"]]
+        span_dispatch = [(h, h.on_population) for h in dispatch["on_population"]]
+        hook_errors: List[HookError] = []
+        failures: List[Tuple[PhaseHook, str, Exception]] = []
+
+        def isolate_failures(step: int) -> None:
+            """Detach every just-failed hook and record why (see
+            repro.engine.hooks for the pinned semantics). A hook that
+            raised from several callbacks before this end-of-step sweep
+            is recorded once, for its first failure."""
+            nonlocal step_dispatch, phase_dispatch, span_dispatch
+            seen = set()
+            for hook, callback, error in failures:
+                if id(hook) in seen:
+                    continue
+                seen.add(id(hook))
+                for lst in dispatch.values():
+                    while hook in lst:
+                        lst.remove(hook)
+                record = HookError(
+                    hook=type(hook).__name__,
+                    callback=callback,
+                    step=step,
+                    error=repr(error),
+                )
+                hook_errors.append(record)
+                warnings.warn(
+                    f"simulation hook isolated: {record.describe()}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            failures.clear()
+            step_dispatch = [
+                (h, h.on_step_start) for h in dispatch["on_step_start"]
+            ]
+            phase_dispatch = [(h, h.on_phase) for h in dispatch["on_phase"]]
+            span_dispatch = [
+                (h, h.on_population) for h in dispatch["on_population"]
+            ]
+
+        observe_step = (
+            metrics.histogram(
+                "sim_step_seconds",
+                "Wall-clock duration of one full simulated step.",
+            ).observe
+            if metrics is not None
+            else None
+        )
         stimuli, populations, projections, plasticity = self._compile_schedule()
         recorder_bindings = [
             (state_recorder, state_recorder.population)
@@ -217,14 +382,26 @@ class Simulator:
         dt = self.dt
         backend_advance = self.backend.advance
 
-        for hook in all_hooks:
-            hook.on_run_start(self.network, n_steps)
+        for hook in dispatch["on_run_start"]:
+            try:
+                hook.on_run_start(self.network, n_steps)
+            except ReproError:
+                raise
+            except Exception as error:
+                failures.append((hook, "on_run_start", error))
+        if failures:
+            isolate_failures(self._step)
 
         try:
             for _ in range(n_steps):
                 step = self._step
-                for hook in all_hooks:
-                    hook.on_step_start(step)
+                for hook, callback in step_dispatch:
+                    try:
+                        callback(step)
+                    except ReproError:
+                        raise
+                    except Exception as error:
+                        failures.append((hook, "on_step_start", error))
 
                 # Phase 1: stimulus generation
                 start = perf_counter()
@@ -233,22 +410,59 @@ class Simulator:
                     idx, weights = stimulus.generate(step, self.rng)
                     queue.enqueue_now(idx, weights, syn_type)
                     events += idx.size
-                elapsed = perf_counter() - start
-                for hook in all_hooks:
-                    hook.on_phase("stimulus", step, elapsed, events)
+                stimulus_elapsed = perf_counter() - start
+                timer_on_phase("stimulus", step, stimulus_elapsed, events)
+                for hook, callback in phase_dispatch:
+                    try:
+                        callback("stimulus", step, stimulus_elapsed, events)
+                    except ReproError:
+                        raise
+                    except Exception as error:
+                        failures.append((hook, "on_phase", error))
 
-                # Phase 2: neuron computation
+                # Phase 2: neuron computation. The span-timed variant
+                # duplicates the loop body so the common no-span path
+                # pays zero extra clock reads.
                 start = perf_counter()
                 updates = 0
-                for name, queue, n_pop in populations:
-                    fired = backend_advance(name, queue.current(), dt)
-                    fired_index[name] = np.nonzero(fired)[0]
-                    if record_spikes:
-                        recorder.record_indices(name, step, fired_index[name])
-                    updates += n_pop
-                elapsed = perf_counter() - start
-                for hook in all_hooks:
-                    hook.on_phase("neuron", step, elapsed, updates)
+                if span_dispatch:
+                    for name, queue, n_pop in populations:
+                        pop_start = perf_counter()
+                        fired = backend_advance(name, queue.current(), dt)
+                        pop_elapsed = perf_counter() - pop_start
+                        fired_index[name] = np.nonzero(fired)[0]
+                        if record_spikes:
+                            recorder.record_indices(
+                                name, step, fired_index[name]
+                            )
+                        updates += n_pop
+                        for hook, callback in span_dispatch:
+                            try:
+                                callback(name, step, pop_elapsed, n_pop)
+                            except ReproError:
+                                raise
+                            except Exception as error:
+                                failures.append(
+                                    (hook, "on_population", error)
+                                )
+                else:
+                    for name, queue, n_pop in populations:
+                        fired = backend_advance(name, queue.current(), dt)
+                        fired_index[name] = np.nonzero(fired)[0]
+                        if record_spikes:
+                            recorder.record_indices(
+                                name, step, fired_index[name]
+                            )
+                        updates += n_pop
+                neuron_elapsed = perf_counter() - start
+                timer_on_phase("neuron", step, neuron_elapsed, updates)
+                for hook, callback in phase_dispatch:
+                    try:
+                        callback("neuron", step, neuron_elapsed, updates)
+                    except ReproError:
+                        raise
+                    except Exception as error:
+                        failures.append((hook, "on_phase", error))
 
                 # State-recorder sampling: measurement overhead, charged
                 # to no phase (it used to be silently billed as neuron
@@ -273,9 +487,22 @@ class Simulator:
                     events += post_idx.size
                 for rule, pre_name, post_name in plasticity:
                     rule.step(fired_index[pre_name], fired_index[post_name], dt)
-                elapsed = perf_counter() - start
-                for hook in all_hooks:
-                    hook.on_phase("synapse", step, elapsed, events)
+                synapse_elapsed = perf_counter() - start
+                timer_on_phase("synapse", step, synapse_elapsed, events)
+                for hook, callback in phase_dispatch:
+                    try:
+                        callback("synapse", step, synapse_elapsed, events)
+                    except ReproError:
+                        raise
+                    except Exception as error:
+                        failures.append((hook, "on_phase", error))
+
+                if observe_step is not None:
+                    observe_step(
+                        stimulus_elapsed + neuron_elapsed + synapse_elapsed
+                    )
+                if failures:
+                    isolate_failures(step)
 
                 for _, queue, _ in populations:
                     queue.rotate()
@@ -287,6 +514,17 @@ class Simulator:
             name: self.backend.evaluations_per_step(name)
             for name, _, _ in populations
         }
+        diagnostics = self._collect_diagnostics()
+        if metrics is not None:
+            self._publish_metrics(
+                metrics,
+                timer=timer,
+                n_steps=n_steps,
+                run_spikes=recorder.total_spikes() - spikes_before,
+                recording_seconds=recording_seconds,
+                evaluations=evaluations,
+                hook_errors=hook_errors,
+            )
         result = SimulationResult(
             network_name=self.network.name,
             backend_name=self.backend.name,
@@ -296,11 +534,87 @@ class Simulator:
             phases=timer.phases,
             evaluations_per_step=evaluations,
             recording_seconds=recording_seconds,
-            diagnostics=self._collect_diagnostics(),
+            diagnostics=diagnostics,
+            hook_errors=hook_errors,
+            metrics=metrics.snapshot() if metrics is not None else None,
         )
-        for hook in all_hooks:
-            hook.on_run_end(result)
+        for hook in dispatch["on_run_end"]:
+            try:
+                hook.on_run_end(result)
+            except ReproError:
+                raise
+            except Exception as error:
+                failures.append((hook, "on_run_end", error))
+        if failures:
+            isolate_failures(self._step)
         return result
+
+    # -- telemetry ------------------------------------------------------------
+
+    def _publish_metrics(
+        self,
+        metrics,
+        timer: PhaseTimer,
+        n_steps: int,
+        run_spikes: int,
+        recording_seconds: float,
+        evaluations: Dict[str, float],
+        hook_errors: List[HookError],
+    ) -> None:
+        """Publish the run's observations into the metrics registry.
+
+        Everything here is collect-time work — the hot loop's only
+        registry interaction is the step-duration histogram. Lifetime
+        tallies (queue enqueues, runtime advances, saturation clips)
+        are published with ``set_total``, so re-running the same
+        simulator against the same registry keeps counters monotone;
+        use one registry per simulator.
+        """
+        for phase, stats in timer.phases.items():
+            labels = {"phase": phase}
+            metrics.counter(
+                "sim_phase_seconds_total",
+                "Wall-clock seconds spent per simulation phase.",
+                labels,
+            ).inc(stats.seconds)
+            metrics.counter(
+                "sim_phase_operations_total",
+                "Abstract operations performed per simulation phase.",
+                labels,
+            ).inc(stats.operations)
+        metrics.counter(
+            "sim_steps_total", "Simulated time steps completed."
+        ).inc(n_steps)
+        metrics.counter(
+            "sim_spikes_total", "Spikes recorded across all populations."
+        ).inc(run_spikes)
+        metrics.counter(
+            "sim_recording_seconds_total",
+            "Wall-clock seconds spent sampling state recorders.",
+        ).inc(recording_seconds)
+        metrics.counter(
+            "sim_hook_errors_total",
+            "User hooks isolated after raising an unexpected exception.",
+        ).inc(len(hook_errors))
+        for name, queue in self._queues.items():
+            labels = {"population": name}
+            metrics.counter(
+                "spike_queue_enqueued_total",
+                "Spike deliveries accumulated into the delay ring.",
+                labels,
+            ).set_total(queue.enqueued_events)
+            metrics.gauge(
+                "spike_queue_pending_weight",
+                "Sum of in-flight synaptic weight awaiting delivery.",
+                labels,
+            ).set(queue.pending_total())
+        for name, value in evaluations.items():
+            metrics.gauge(
+                "runtime_evaluations_per_step",
+                "Solver evaluations charged per step.",
+                {"population": name},
+            ).set(value)
+        self.backend.publish_metrics(metrics)
 
     def _collect_diagnostics(self) -> RunDiagnostics:
         """Gather reliability observations from the backend's runtimes.

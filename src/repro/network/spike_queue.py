@@ -28,6 +28,9 @@ class SpikeQueue:
             (self.depth, n_synapse_types, n), dtype=np.float64
         )
         self._head = 0
+        #: Lifetime count of spike deliveries accumulated into the ring
+        #: (telemetry; published as ``spike_queue_enqueued_total``).
+        self.enqueued_events = 0
 
     def enqueue(
         self,
@@ -45,6 +48,7 @@ class SpikeQueue:
             )
         slots = (self._head + delays) % self.depth
         np.add.at(self._ring, (slots, syn_type, post_idx), weights)
+        self.enqueued_events += post_idx.size
 
     def enqueue_now(
         self, post_idx: np.ndarray, weights: np.ndarray, syn_type: int
@@ -57,6 +61,7 @@ class SpikeQueue:
         if post_idx.size == 0:
             return
         np.add.at(self._ring, (self._head, syn_type, post_idx), weights)
+        self.enqueued_events += post_idx.size
 
     def current(self) -> np.ndarray:
         """The ``(n_synapse_types, n)`` input accumulated for this step."""
@@ -73,7 +78,11 @@ class SpikeQueue:
 
     def snapshot(self) -> dict:
         """The full ring contents and head position (checkpointing)."""
-        return {"ring": self._ring.copy(), "head": self._head}
+        return {
+            "ring": self._ring.copy(),
+            "head": self._head,
+            "enqueued_events": self.enqueued_events,
+        }
 
     def restore(self, snapshot: dict) -> None:
         """Overwrite the ring from a :meth:`snapshot`."""
@@ -88,3 +97,5 @@ class SpikeQueue:
             raise SimulationError(f"snapshot head {head} out of range")
         self._ring[:] = ring
         self._head = head
+        # Older checkpoints predate the telemetry counter.
+        self.enqueued_events = int(snapshot.get("enqueued_events", 0))

@@ -18,7 +18,7 @@ deviation, not a silent one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.fixedpoint import SaturationStats
@@ -68,6 +68,31 @@ class RunDiagnostics:
     def healthy(self) -> bool:
         """True when nothing degraded and nothing clipped."""
         return not self.fallbacks and self.total_saturations == 0
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view (``repro run --stats-json``)."""
+        return {
+            "healthy": self.healthy(),
+            "total_saturations": self.total_saturations,
+            "fallbacks": [
+                {**asdict(event), "indices": list(event.indices)}
+                for event in self.fallbacks
+            ],
+            "saturation": {
+                population: {
+                    "checked": stats.checked,
+                    "total_clipped": stats.total_clipped,
+                    "clipped_by_format": {
+                        fmt.describe(): count
+                        for fmt, count in sorted(
+                            stats.clipped.items(),
+                            key=lambda item: item[0].describe(),
+                        )
+                    },
+                }
+                for population, stats in sorted(self.saturation.items())
+            },
+        }
 
     def summary(self) -> str:
         """Human-readable digest (empty string when healthy)."""

@@ -117,6 +117,22 @@ class FallbackRuntime(PopulationRuntime):
     def health(self, limit=DIVERGENCE_LIMIT):
         return self.active.health(limit)
 
+    def publish_metrics(self, metrics) -> None:
+        """Publish degrade accounting, then the active runtime's own
+        counters (compiled while healthy, solver after a fault)."""
+        labels = {"population": self.name}
+        metrics.counter(
+            "runtime_fallbacks_total",
+            "Mid-run re-seats from the compiled onto the solver path.",
+            labels,
+        ).set_total(len(self.fallback_events))
+        metrics.gauge(
+            "runtime_degraded",
+            "1 while a population runs on the fallback solver path.",
+            labels,
+        ).set(1.0 if self.degraded else 0.0)
+        self.active.publish_metrics(metrics)
+
     # -- checkpointing -----------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:

@@ -1,0 +1,38 @@
+"""The telemetry layer: one sink for everything the simulator observes.
+
+Three pieces (see DESIGN.md's "Telemetry layer"):
+
+* :mod:`repro.telemetry.registry` — ``MetricsRegistry``: named
+  counter/gauge/histogram families every layer publishes into,
+  exported as a JSON snapshot (``SimulationResult.metrics``) and
+  Prometheus text exposition format;
+* :mod:`repro.telemetry.trace` — ``TraceHook``: the per-phase event
+  stream plus per-population kernel spans as Chrome
+  ``chrome://tracing`` / Perfetto Trace Event JSON, ring-buffered so
+  long runs stay memory-bounded;
+* :mod:`repro.telemetry.profile` — the ``repro profile`` harness:
+  per-phase/per-population p50/p95, ops/sec, and the measured
+  metrics-overhead delta, written as ``BENCH_profile.json``.
+
+The profile harness pulls in the workload registry, so it is imported
+lazily by the CLI rather than here.
+"""
+
+from repro.telemetry.registry import (
+    Counter,
+    DEFAULT_SECONDS_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import DEFAULT_MAX_EVENTS, TraceHook
+
+__all__ = [
+    "Counter",
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceHook",
+]

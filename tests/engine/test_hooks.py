@@ -110,3 +110,163 @@ class TestPhaseAccounting:
         assert (
             fast.neuron_updates == 50 * small_network.n_neurons
         )
+
+
+class TestPhaseTraceRingBuffer:
+    def test_unbounded_by_default(self, small_network):
+        trace = PhaseTrace()
+        Simulator(small_network, dt=DT, seed=3).run(40, hooks=[trace])
+        assert len(trace.events) == 40 * len(PHASES)
+        assert trace.total_events == 40 * len(PHASES)
+        assert trace.dropped_events == 0
+
+    def test_ring_keeps_most_recent_events(self, small_network):
+        trace = PhaseTrace(max_events=9)
+        Simulator(small_network, dt=DT, seed=3).run(40, hooks=[trace])
+        assert len(trace.events) == 9
+        assert trace.total_events == 120
+        assert trace.dropped_events == 111
+        # The survivors are the last three steps' phase events.
+        assert [step for step, *_ in trace.events] == [37, 37, 37, 38, 38, 38, 39, 39, 39]
+        assert trace.steps_recorded() == 3
+
+    def test_durations_of_reads_only_the_buffer(self, small_network):
+        trace = PhaseTrace(max_events=6)
+        Simulator(small_network, dt=DT, seed=3).run(10, hooks=[trace])
+        durations = trace.durations_of("neuron")
+        assert len(durations) == 2
+        assert all(value >= 0.0 for value in durations)
+
+
+class _FailingHook(PhaseHook):
+    """Raises from one chosen callback at one chosen step."""
+
+    def __init__(self, callback, fail_step=0, error=ValueError("boom")):
+        self.callback = callback
+        self.fail_step = fail_step
+        self.error = error
+        self.calls = []
+
+    def _maybe_fail(self, name, step):
+        self.calls.append((name, step))
+        if name == self.callback and step >= self.fail_step:
+            raise self.error
+
+    def on_step_start(self, step):
+        self._maybe_fail("on_step_start", step)
+
+    def on_phase(self, phase, step, seconds, operations):
+        self._maybe_fail("on_phase", step)
+
+    def on_run_end(self, result):
+        self._maybe_fail("on_run_end", result.n_steps)
+
+
+class TestHookFailureSemantics:
+    """Pins the contract in the hooks module docstring: plain exceptions
+    are isolated (hook detached, HookError recorded, warning emitted);
+    ReproError subclasses propagate after the phase closed.
+    """
+
+    def test_failing_hook_is_isolated_and_recorded(self, small_network):
+        hook = _FailingHook("on_phase", fail_step=5)
+        with pytest.warns(RuntimeWarning, match="on_phase"):
+            result = Simulator(small_network, dt=DT, seed=3).run(20, hooks=[hook])
+        assert len(result.hook_errors) == 1
+        error = result.hook_errors[0]
+        assert error.hook == "_FailingHook"
+        assert error.callback == "on_phase"
+        assert error.step == 5
+        assert "boom" in error.error
+        assert "detached" in error.describe()
+
+    def test_failed_hook_detached_for_rest_of_run(self, small_network):
+        hook = _FailingHook("on_phase", fail_step=5)
+        with pytest.warns(RuntimeWarning):
+            Simulator(small_network, dt=DT, seed=3).run(20, hooks=[hook])
+        # The hook saw nothing after the step where it raised.
+        assert max(step for _, step in hook.calls) == 5
+
+    def test_phase_accounting_survives_hook_failure(self, small_network):
+        hook = _FailingHook("on_phase", fail_step=0)
+        with pytest.warns(RuntimeWarning):
+            result = Simulator(small_network, dt=DT, seed=3).run(20, hooks=[hook])
+        assert set(result.phases) == set(PHASES)
+        assert result.neuron_updates == 20 * small_network.n_neurons
+        assert sum(result.phase_fractions().values()) == pytest.approx(1.0)
+
+    def test_other_hooks_keep_running(self, small_network):
+        failing = _FailingHook("on_phase", fail_step=0)
+        healthy = _RecordingHook()
+        with pytest.warns(RuntimeWarning):
+            Simulator(small_network, dt=DT, seed=3).run(
+                20, hooks=[failing, healthy]
+            )
+        assert len(healthy.phases) == 20 * len(PHASES)
+
+    def test_step_start_failure_isolated_too(self, small_network):
+        hook = _FailingHook("on_step_start", fail_step=3)
+        with pytest.warns(RuntimeWarning):
+            result = Simulator(small_network, dt=DT, seed=3).run(10, hooks=[hook])
+        assert result.hook_errors[0].callback == "on_step_start"
+        assert result.n_steps == 10
+
+    def test_run_end_failure_recorded(self, small_network):
+        hook = _FailingHook("on_run_end")
+        with pytest.warns(RuntimeWarning):
+            result = Simulator(small_network, dt=DT, seed=3).run(5, hooks=[hook])
+        assert result.hook_errors[0].callback == "on_run_end"
+
+    def test_repro_error_propagates(self, small_network):
+        from repro.errors import NumericsError
+
+        hook = _FailingHook("on_phase", fail_step=5, error=NumericsError("nan"))
+        with pytest.raises(NumericsError):
+            Simulator(small_network, dt=DT, seed=3).run(20, hooks=[hook])
+
+    def test_hook_errors_reach_metrics_registry(self, small_network):
+        from repro.telemetry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        hook = _FailingHook("on_phase", fail_step=0)
+        with pytest.warns(RuntimeWarning):
+            result = Simulator(small_network, dt=DT, seed=3).run(
+                10, hooks=[hook], metrics=metrics
+            )
+        entry = [
+            e
+            for e in result.metrics["sim_hook_errors_total"]["values"]
+        ]
+        assert entry[0]["value"] == 1
+
+
+class _SpanHook(PhaseHook):
+    def __init__(self):
+        self.spans = []
+
+    def on_population(self, population, step, seconds, operations):
+        self.spans.append((population, step, seconds, operations))
+
+
+class TestPopulationSpans:
+    def test_span_hook_sees_every_population_every_step(self, small_network):
+        hook = _SpanHook()
+        Simulator(small_network, dt=DT, seed=3).run(10, hooks=[hook])
+        assert len(hook.spans) == 10 * len(small_network.populations)
+        assert {name for name, *_ in hook.spans} == set(small_network.populations)
+        assert all(seconds >= 0.0 for _, _, seconds, _ in hook.spans)
+        assert all(
+            operations == small_network.populations[name].n
+            for name, _, _, operations in hook.spans
+        )
+
+    def test_opt_out_attribute_suppresses_spans(self, small_network):
+        hook = _SpanHook()
+        hook.wants_population_spans = False
+        Simulator(small_network, dt=DT, seed=3).run(10, hooks=[hook])
+        assert hook.spans == []
+
+    def test_span_seconds_fit_inside_neuron_phase(self, small_network):
+        hook = _SpanHook()
+        result = Simulator(small_network, dt=DT, seed=3).run(10, hooks=[hook])
+        assert sum(s for _, _, s, _ in hook.spans) <= result.phases["neuron"].seconds

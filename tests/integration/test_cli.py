@@ -173,3 +173,80 @@ class TestFrontendCommands:
         path.write_text("{oops")
         assert main(["simulate", str(path)]) == 2
         assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestTelemetryCli:
+    BASE = ["run", "Brunel", "--backend", "reference", "--solver", "Euler",
+            "--scale", "0.02", "--steps", "60"]
+
+    def test_run_writes_trace_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(self.BASE + ["--trace", str(path)]) == 0
+        assert "wrote trace" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) > 60 * 3  # phases plus population kernel spans
+        assert doc["otherData"]["dropped_events"] == 0
+
+    def test_run_trace_max_events_bounds_the_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(
+            self.BASE + ["--trace", str(path), "--trace-max-events", "12"]
+        ) == 0
+        doc = json.loads(path.read_text())
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == 12
+        assert doc["otherData"]["dropped_events"] > 0
+
+    def test_run_writes_stats_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "stats.json"
+        assert main(self.BASE + ["--stats-json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-run-stats/1"
+        assert doc["network"] == "Brunel"
+        assert doc["n_steps"] == 60
+        assert set(doc["phase_fractions"]) == {"stimulus", "neuron", "synapse"}
+        assert doc["metrics"]["sim_steps_total"]["values"][0]["value"] == 60
+
+    def test_run_writes_prometheus_text(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert main(self.BASE + ["--prometheus", str(path)]) == 0
+        text = path.read_text()
+        assert "# TYPE sim_steps_total counter" in text
+        assert "sim_steps_total 60" in text
+        assert 'sim_phase_seconds_total{phase="neuron"}' in text
+
+    def test_profile_quick_writes_bench_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_profile.json"
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["profile", "--quick", "--workloads", "Brunel",
+             "--steps", "30", "--scale", "0.02",
+             "--output", str(out), "--trace", str(trace)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "overhead" in stdout
+        assert "budget: < 5%" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-profile/1"
+        assert payload["reps"] == 2  # --quick caps reps
+        assert "Brunel" in payload["workloads"]
+        phases = payload["workloads"]["Brunel"]["phases"]
+        assert {"stimulus", "neuron", "synapse"} <= set(phases)
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_profile_unknown_workload_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["profile", "--workloads", "NoSuchNet",
+             "--output", str(tmp_path / "x.json")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

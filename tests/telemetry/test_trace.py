@@ -1,0 +1,141 @@
+"""TraceHook: structurally valid Perfetto traces from real runs."""
+
+import json
+
+import pytest
+
+from repro.network import Simulator
+from repro.telemetry import MetricsRegistry, TraceHook
+from repro.workloads import build_workload
+
+DT = 1e-4
+
+
+@pytest.fixture(scope="module")
+def brunel_trace():
+    """A trace of a short Brunel run (the acceptance workload)."""
+    network = build_workload("Brunel", scale=0.02, seed=3)
+    trace = TraceHook()
+    Simulator(network, dt=DT, seed=4).run(40, hooks=[trace])
+    return network, trace
+
+
+class TestTraceStructure:
+    def test_document_is_valid_trace_event_json(self, brunel_trace):
+        _, trace = brunel_trace
+        doc = json.loads(json.dumps(trace.trace_json()))
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        phs = {event["ph"] for event in doc["traceEvents"]}
+        assert phs == {"M", "X"}
+
+    def test_complete_events_have_required_fields(self, brunel_trace):
+        _, trace = brunel_trace
+        spans = [e for e in trace.to_trace_events() if e["ph"] == "X"]
+        assert spans
+        for event in spans:
+            assert set(event) >= {"name", "cat", "ph", "pid", "tid", "ts", "dur"}
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["args"]["step"] >= 0
+
+    def test_every_phase_of_every_step_is_a_span(self, brunel_trace):
+        _, trace = brunel_trace
+        spans = [e for e in trace.to_trace_events() if e.get("cat") == "phase"]
+        assert len(spans) == 40 * 3
+        assert {e["name"] for e in spans} == {"stimulus", "neuron", "synapse"}
+
+    def test_population_kernel_spans_on_named_tracks(self, brunel_trace):
+        network, trace = brunel_trace
+        events = trace.to_trace_events()
+        kernels = [e for e in events if e.get("cat") == "kernel"]
+        assert {e["name"] for e in kernels} == set(network.populations)
+        assert len(kernels) == 40 * len(network.populations)
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for population in network.populations:
+            assert f"pop:{population}" in thread_names
+        # Kernel spans live on their own tracks, not the phase track.
+        phase_tids = {e["tid"] for e in events if e.get("cat") == "phase"}
+        kernel_tids = {e["tid"] for e in kernels}
+        assert not (phase_tids & kernel_tids)
+
+    def test_spans_nest_inside_their_neuron_phase(self, brunel_trace):
+        """Kernel spans belong to, and fit inside, their step's neuron phase."""
+        _, trace = brunel_trace
+        events = trace.to_trace_events()
+        neuron = {
+            e["args"]["step"]: e
+            for e in events
+            if e.get("cat") == "phase" and e["name"] == "neuron"
+        }
+        kernel_dur = {}
+        for event in events:
+            if event.get("cat") != "kernel":
+                continue
+            phase = neuron[event["args"]["step"]]
+            # The hook computes span start as dispatch-time minus duration,
+            # so timestamps carry a little dispatch lag; durations do not.
+            slack_us = 100.0
+            assert event["ts"] >= phase["ts"] - slack_us
+            assert event["ts"] + event["dur"] <= phase["ts"] + phase["dur"] + slack_us
+            step = event["args"]["step"]
+            kernel_dur[step] = kernel_dur.get(step, 0.0) + event["dur"]
+        # Summed kernel time never exceeds the enclosing phase duration.
+        for step, total in kernel_dur.items():
+            assert total <= neuron[step]["dur"] + 0.01
+
+    def test_save_round_trips_through_json(self, brunel_trace, tmp_path):
+        _, trace = brunel_trace
+        path = tmp_path / "trace.json"
+        trace.save(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestRingBuffer:
+    def test_ring_keeps_most_recent_events(self, small_network):
+        trace = TraceHook(max_events=30, populations=False)
+        Simulator(small_network, dt=DT, seed=3).run(50, hooks=[trace])
+        assert trace.total_events == 150
+        assert trace.dropped_events == 120
+        spans = [e for e in trace.to_trace_events() if e["ph"] == "X"]
+        assert len(spans) == 30
+        # The survivors are the last 10 steps' worth of events.
+        assert min(e["args"]["step"] for e in spans) == 40
+
+    def test_dropped_count_in_document_metadata(self, small_network):
+        trace = TraceHook(max_events=30, populations=False)
+        Simulator(small_network, dt=DT, seed=3).run(50, hooks=[trace])
+        assert trace.trace_json()["otherData"]["dropped_events"] == 120
+
+    def test_populations_false_skips_kernel_spans(self, small_network):
+        trace = TraceHook(populations=False)
+        Simulator(small_network, dt=DT, seed=3).run(10, hooks=[trace])
+        assert not trace.population_durations()
+        assert len([e for e in trace.to_trace_events() if e["ph"] == "X"]) == 30
+
+    def test_duration_helpers_group_by_name(self, small_network):
+        trace = TraceHook()
+        Simulator(small_network, dt=DT, seed=3).run(10, hooks=[trace])
+        phases = trace.phase_durations()
+        assert set(phases) == {"stimulus", "neuron", "synapse"}
+        assert all(len(v) == 10 for v in phases.values())
+        populations = trace.population_durations()
+        assert set(populations) == {"exc", "inh"}
+
+
+class TestTraceWithMetrics:
+    def test_trace_and_registry_attach_together(self, small_network):
+        trace = TraceHook()
+        metrics = MetricsRegistry()
+        result = Simulator(small_network, dt=DT, seed=3).run(
+            20, hooks=[trace], metrics=metrics
+        )
+        assert result.metrics is not None
+        hist = result.metrics["sim_step_seconds"]["values"][0]
+        assert hist["count"] == 20
+        assert len([e for e in trace.to_trace_events() if e["ph"] == "X"]) > 0
