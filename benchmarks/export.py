@@ -21,12 +21,12 @@ carries per-backend ``steps_per_sec`` plus the derived
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import platform
 import time
 
 from repro.hardware import FlexonBackend, FoldedFlexonBackend
+from repro.io import atomic_write_json
 from repro.network import ReferenceBackend, Simulator
 from repro.workloads import build_workload, get_spec, workload_names
 from repro.workloads.builders import DT
@@ -112,7 +112,7 @@ def main() -> None:
             entry["engine_speedup"] for entry in workloads.values()
         ),
     }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(args.output, payload)
     print(f"wrote {args.output}")
 
 

@@ -17,7 +17,18 @@ Subcommands:
     Telemetry: ``--trace OUT.json`` writes a Perfetto/chrome://tracing
     timeline, ``--stats-json PATH`` dumps the run's statistics as
     JSON, ``--prometheus PATH`` writes the metrics registry in
-    Prometheus text exposition format.
+    Prometheus text exposition format. SIGINT/SIGTERM stop the run
+    gracefully at the next step boundary: a final checkpoint is
+    written, partial statistics land in ``--stats-json`` (marked
+    ``"partial": true``), and the process exits 130 (SIGINT) or
+    143 (SIGTERM) instead of printing a traceback.
+``sweep [WORKLOAD ...]``
+    Run workloads as supervised, process-isolated jobs: per-job
+    wall-clock deadlines (``--deadline``), heartbeat watchdog
+    (``--heartbeat-timeout``), retry with exponential backoff
+    (``--max-retries``), and checkpoint-based crash recovery
+    (``--checkpoint-every``). ``--workers N`` supervises N jobs
+    concurrently. Exits 0 only when every job completed.
 ``profile``
     Run registry workloads bare vs. fully instrumented; report
     per-phase/per-population p50/p95 wall time, ops/sec, and the
@@ -97,11 +108,17 @@ def _cmd_microcode(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.errors import CheckpointError
+    from repro.errors import CheckpointError, RunInterrupted
     from repro.hardware.backend import FlexonBackend, FoldedFlexonBackend
+    from repro.io import atomic_write_json, atomic_write_text
     from repro.network.backends import ReferenceBackend
     from repro.network.simulator import Simulator
     from repro.reliability import Checkpoint, CheckpointHook
+    from repro.supervision.interrupt import (
+        EXIT_CODES,
+        InterruptHook,
+        graceful_signals,
+    )
     from repro.workloads import build_workload, get_spec
 
     spec = get_spec(args.workload)
@@ -160,9 +177,28 @@ def _cmd_run(args) -> int:
         from repro.telemetry import MetricsRegistry
 
         metrics = MetricsRegistry()
-    result = simulator.run(
-        remaining, hooks=hooks, spikes=spikes, metrics=metrics
-    )
+    interrupt = InterruptHook(simulator, checkpoint_path=args.checkpoint_path)
+    hooks.append(interrupt)
+    try:
+        with graceful_signals(interrupt):
+            result = simulator.run(
+                remaining, hooks=hooks, spikes=spikes, metrics=metrics
+            )
+    except RunInterrupted as stop:
+        print(
+            f"\ninterrupted by {stop.signal_name} at step {stop.step}; "
+            "stopping gracefully"
+        )
+        if interrupt.checkpoint_written:
+            print(
+                f"final checkpoint written to "
+                f"{interrupt.checkpoint_written!r}; resume with "
+                f"--resume-from {interrupt.checkpoint_written!r}"
+            )
+        if args.stats_json and interrupt.partial_stats is not None:
+            atomic_write_json(args.stats_json, interrupt.partial_stats)
+            print(f"wrote partial run statistics {args.stats_json!r}")
+        return EXIT_CODES.get(stop.signal_name, 130)
     duration = simulator.current_step * args.dt
     rate = result.total_spikes() / max(1, network.n_neurons) / duration
     print(
@@ -185,16 +221,103 @@ def _cmd_run(args) -> int:
             f"chrome://tracing or https://ui.perfetto.dev"
         )
     if args.stats_json:
-        import json
-
-        with open(args.stats_json, "w", encoding="utf-8") as handle:
-            json.dump(result.to_stats_dict(), handle, indent=2)
+        atomic_write_json(args.stats_json, result.to_stats_dict())
         print(f"wrote run statistics {args.stats_json!r}")
     if args.prometheus:
-        with open(args.prometheus, "w", encoding="utf-8") as handle:
-            handle.write(metrics.to_prometheus())
+        atomic_write_text(args.prometheus, metrics.to_prometheus())
         print(f"wrote Prometheus metrics {args.prometheus!r}")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.common import format_table
+    from repro.io import atomic_write_json
+    from repro.supervision import JobSpec, RetryPolicy, Supervisor
+    from repro.workloads import get_spec, workload_names
+
+    names = args.workloads or list(workload_names())
+    for name in names:
+        get_spec(name)  # fail fast on unknown workloads, before spawning
+    jobs = [
+        JobSpec(
+            name=name,
+            workload=name,
+            backend=args.backend,
+            steps=args.steps,
+            scale=args.scale,
+            seed=args.seed,
+            dt=args.dt,
+            solver=args.solver,
+            chaos_kill_at_step=args.chaos_kill_at,
+        )
+        for name in names
+    ]
+    supervisor = Supervisor(
+        workers=args.workers,
+        retry=RetryPolicy(
+            max_retries=args.max_retries, base_delay=args.backoff_base
+        ),
+        deadline_seconds=args.deadline,
+        heartbeat_timeout=args.heartbeat_timeout,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        seed=args.seed,
+    )
+    print(
+        f"supervising {len(jobs)} job(s) on backend {args.backend!r}: "
+        f"deadline {args.deadline:g}s, heartbeat timeout "
+        f"{args.heartbeat_timeout:g}s, {args.max_retries} retr"
+        f"{'y' if args.max_retries == 1 else 'ies'}, checkpoint every "
+        f"{args.checkpoint_every} steps, {args.workers} worker(s)"
+    )
+    if args.chaos_kill_at is not None:
+        print(
+            f"chaos: workers SIGKILL themselves at step "
+            f"{args.chaos_kill_at} on their first attempt"
+        )
+    report = supervisor.run(jobs)
+    rows = []
+    for job in report.jobs:
+        outcome = job.outcome
+        if not job.completed and job.failure_kind:
+            outcome = f"failed ({job.failure_kind})"
+        resumed = max(a.resumed_from_step for a in job.attempts)
+        rows.append(
+            (
+                job.name,
+                job.attempts[-1].backend if job.attempts else job.backend,
+                outcome,
+                len(job.attempts),
+                resumed if resumed else "-",
+                f"{job.total_spikes:,}",
+                "yes" if job.degraded else "no",
+                f"{job.wall_seconds:.1f}s",
+            )
+        )
+    print()
+    print(
+        format_table(
+            [
+                "Job", "Backend", "Outcome", "Attempts", "Resumed@",
+                "Spikes", "Degraded", "Wall",
+            ],
+            rows,
+        )
+    )
+    print(
+        f"\n{len(report.completed)}/{len(report.jobs)} jobs completed "
+        f"in {report.wall_seconds:.1f}s"
+    )
+    if args.stats_json:
+        atomic_write_json(args.stats_json, report.to_dict())
+        print(f"wrote sweep report {args.stats_json!r}")
+    if args.trace:
+        atomic_write_json(args.trace, report.trace_json())
+        print(
+            f"wrote worker-lifetime trace {args.trace!r} — load it in "
+            "chrome://tracing or https://ui.perfetto.dev"
+        )
+    return 0 if report.all_completed() else 1
 
 
 def _cmd_profile(args) -> int:
@@ -401,6 +524,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="write run metrics in Prometheus text exposition format",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run workloads as supervised, process-isolated jobs with "
+        "deadlines, retries, and checkpoint-based crash recovery",
+    )
+    sweep.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="WORKLOAD",
+        help="Table I workload names (default: the full registry)",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=("reference", "solver", "flexon", "folded"),
+        default="reference",
+    )
+    sweep.add_argument(
+        "--solver", default=None, help="reference solver override"
+    )
+    sweep.add_argument("--scale", type=float, default=0.05)
+    sweep.add_argument("--steps", type=int, default=400)
+    sweep.add_argument("--dt", type=float, default=DT)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="jobs supervised concurrently (each job retries serially)",
+    )
+    sweep.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per job after the first attempt",
+    )
+    sweep.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base delay of the exponential retry backoff",
+    )
+    sweep.add_argument(
+        "--deadline",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-job wall-clock deadline before the watchdog kills it",
+    )
+    sweep.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="kill a worker whose progress heartbeats stall this long",
+    )
+    sweep.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        metavar="N",
+        help="worker checkpoint interval in steps (0 disables recovery)",
+    )
+    sweep.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="keep job checkpoints here (default: a temp dir per sweep)",
+    )
+    sweep.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write the structured sweep report (repro-sweep/1) as JSON",
+    )
+    sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="write worker-lifetime spans as a Perfetto-loadable trace",
+    )
+    sweep.add_argument(
+        "--chaos-kill-at",
+        type=int,
+        default=None,
+        metavar="STEP",
+        help="inject a worker SIGKILL at STEP on each job's first "
+        "attempt (exercises the kill/resume path; used by CI)",
+    )
+
     profile = sub.add_parser(
         "profile",
         help="measure per-phase/per-population latency and telemetry "
@@ -467,6 +682,7 @@ _COMMANDS = {
     "models": _cmd_models,
     "microcode": _cmd_microcode,
     "run": _cmd_run,
+    "sweep": _cmd_sweep,
     "profile": _cmd_profile,
     "experiment": _cmd_experiment,
     "simulate": _cmd_simulate,

@@ -99,3 +99,28 @@ class CheckpointError(ReliabilityError):
     sizes, backend name, dt) so a checkpoint from one simulation cannot
     silently corrupt another.
     """
+
+
+class SupervisionError(ReproError):
+    """Raised when the supervision layer is misconfigured or a sweep
+    cannot be orchestrated (duplicate job names, bad retry policy,
+    broken worker protocol). Individual *job* failures are not
+    exceptions — they are classified into ``JobReport.failure_kind``
+    (``timeout`` / ``crash`` / ``numerics`` / ``oom-like``) so a sweep
+    survives them.
+    """
+
+
+class RunInterrupted(ReproError):
+    """Raised at a step boundary after SIGINT/SIGTERM requested a stop.
+
+    The graceful-interrupt hook writes a final checkpoint *before*
+    raising, captures partial run statistics, and the CLI translates
+    the exception into the documented exit code (130 for SIGINT, 143
+    for SIGTERM) instead of a raw traceback.
+    """
+
+    def __init__(self, message: str, signal_name: str = "", step: int = -1):
+        super().__init__(message)
+        self.signal_name = signal_name
+        self.step = step

@@ -67,9 +67,63 @@ def _check_keys(entry: Dict, allowed: set, where: str) -> None:
         )
 
 
+def _as_int(value, where: str) -> int:
+    """``value`` as an int, or a field-level :class:`ConfigurationError`."""
+    if isinstance(value, bool):
+        raise ConfigurationError(f"{where} must be an integer, got {value!r}")
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{where} must be an integer, got {value!r}"
+        ) from None
+
+
+def _as_float(value, where: str) -> float:
+    """``value`` as a float, or a field-level :class:`ConfigurationError`."""
+    if isinstance(value, bool):
+        raise ConfigurationError(f"{where} must be a number, got {value!r}")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{where} must be a number, got {value!r}"
+        ) from None
+
+
+def _require(entry: Dict, keys, where: str) -> None:
+    for key in keys:
+        if key not in entry:
+            raise ConfigurationError(f"{where} missing required key {key!r}")
+
+
+def _spec_list(spec: Dict, key: str) -> list:
+    """A top-level section as a list of dict entries, validated."""
+    value = spec.get(key)
+    if value is None:
+        return []
+    if not isinstance(value, (list, tuple)):
+        raise ConfigurationError(
+            f"top-level {key!r} must be a list of objects, "
+            f"got {type(value).__name__}"
+        )
+    for index, entry in enumerate(value):
+        if not isinstance(entry, dict):
+            raise ConfigurationError(
+                f"{key}[{index}] must be an object, "
+                f"got {type(entry).__name__}"
+            )
+    return list(value)
+
+
 def load_spec(path: Union[str, pathlib.Path]) -> Dict:
     """Load a JSON specification from disk."""
-    text = pathlib.Path(path).read_text()
+    try:
+        text = pathlib.Path(path).read_text()
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read spec {path}: {error}"
+        ) from None
     try:
         spec = json.loads(text)
     except json.JSONDecodeError as error:
@@ -83,48 +137,70 @@ def build_network(spec: Dict) -> Network:
     """Materialise the network described by ``spec``."""
     import numpy as np
 
+    if not isinstance(spec, dict):
+        raise ConfigurationError(
+            f"a spec must be an object, got {type(spec).__name__}"
+        )
     _check_keys(spec, _TOP_KEYS, "the top-level spec")
-    if not spec.get("populations"):
+    populations = _spec_list(spec, "populations")
+    if not populations:
         raise ConfigurationError("spec needs at least one population")
     network = Network(spec.get("name", "network"))
-    rng = np.random.default_rng(int(spec.get("seed", 0)))
-    dt = float(spec.get("dt", 1e-4))
+    rng = np.random.default_rng(_as_int(spec.get("seed", 0), "top-level 'seed'"))
+    dt = _as_float(spec.get("dt", 1e-4), "top-level 'dt'")
+    if dt <= 0:
+        raise ConfigurationError(f"top-level 'dt' must be positive, got {dt}")
 
-    for entry in spec["populations"]:
-        _check_keys(entry, _POPULATION_KEYS, f"population {entry.get('name')!r}")
-        for key in ("name", "n", "model"):
-            if key not in entry:
-                raise ConfigurationError(
-                    f"population entry missing {key!r}: {entry}"
-                )
+    for entry in populations:
+        where = f"population {entry.get('name')!r}"
+        _check_keys(entry, _POPULATION_KEYS, where)
+        _require(entry, ("name", "n", "model"), where)
+        n = _as_int(entry["n"], f"{where}: 'n'")
+        if n < 1:
+            raise ConfigurationError(f"{where}: 'n' must be >= 1, got {n}")
         parameters = None
         if entry.get("parameters"):
+            if not isinstance(entry["parameters"], dict):
+                raise ConfigurationError(
+                    f"{where}: 'parameters' must be an object of "
+                    f"model-parameter overrides"
+                )
             overrides = dict(entry["parameters"])
             for tuple_key in ("tau_g", "v_g"):
                 if tuple_key in overrides:
-                    overrides[tuple_key] = tuple(overrides[tuple_key])
-            parameters = ModelParameters(**overrides)
+                    try:
+                        overrides[tuple_key] = tuple(overrides[tuple_key])
+                    except TypeError:
+                        raise ConfigurationError(
+                            f"{where}: {tuple_key!r} must be a list of "
+                            f"numbers, got {overrides[tuple_key]!r}"
+                        ) from None
+            try:
+                parameters = ModelParameters(**overrides)
+            except TypeError as error:
+                raise ConfigurationError(
+                    f"{where}: invalid model parameters: {error}"
+                ) from None
         network.add_population(
             entry["name"],
-            int(entry["n"]),
+            n,
             create_model(entry["model"], parameters=parameters),
         )
 
-    for entry in spec.get("projections", []):
+    for entry in _spec_list(spec, "projections"):
         where = f"projection {entry.get('pre')}->{entry.get('post')}"
         _check_keys(entry, _PROJECTION_KEYS, where)
-        for key in ("pre", "post"):
-            if key not in entry:
-                raise ConfigurationError(f"{where} missing {key!r}")
+        _require(entry, ("pre", "post"), where)
         plasticity = entry.get("plasticity")
-        kwargs = {
-            key: entry[key]
-            for key in (
-                "probability", "weight", "weight_std", "syn_type",
-                "delay_steps", "delay_jitter", "allow_self",
-            )
-            if key in entry
-        }
+        kwargs = {}
+        for key in ("probability", "weight", "weight_std"):
+            if key in entry:
+                kwargs[key] = _as_float(entry[key], f"{where}: {key!r}")
+        for key in ("syn_type", "delay_steps", "delay_jitter"):
+            if key in entry:
+                kwargs[key] = _as_int(entry[key], f"{where}: {key!r}")
+        if "allow_self" in entry:
+            kwargs["allow_self"] = bool(entry["allow_self"])
         projection = network.connect(
             entry["pre"], entry["post"], rng=rng, **kwargs
         )
@@ -133,38 +209,65 @@ def build_network(spec: Dict) -> Network:
                 projection, _build_plasticity(plasticity, where)
             )
 
-    for entry in spec.get("stimuli", []):
+    for entry in _spec_list(spec, "stimuli"):
         kind = entry.get("kind")
         target_name = entry.get("target")
         where = f"stimulus ({kind}) on {target_name!r}"
+        _require(entry, ("kind", "target"), where)
         if target_name not in network.populations:
             raise ConfigurationError(f"{where}: unknown target population")
         target = network.populations[target_name]
         if kind == "poisson":
             _check_keys(entry, _POISSON_KEYS, where)
+            _require(entry, ("rate_hz", "weight"), where)
             network.add_stimulus(
                 PoissonStimulus(
                     target,
-                    rate_hz=float(entry["rate_hz"]),
-                    weight=float(entry["weight"]),
+                    rate_hz=_as_float(entry["rate_hz"], f"{where}: 'rate_hz'"),
+                    weight=_as_float(entry["weight"], f"{where}: 'weight'"),
                     dt=dt,
-                    syn_type=int(entry.get("syn_type", 0)),
-                    n_sources=int(entry.get("n_sources", 1)),
+                    syn_type=_as_int(
+                        entry.get("syn_type", 0), f"{where}: 'syn_type'"
+                    ),
+                    n_sources=_as_int(
+                        entry.get("n_sources", 1), f"{where}: 'n_sources'"
+                    ),
                 )
             )
         elif kind == "pattern":
             _check_keys(entry, _PATTERN_KEYS, where)
-            events = {
-                int(step): list(indices)
-                for step, indices in entry["events"].items()
-            }
+            _require(entry, ("events", "weight"), where)
+            if not isinstance(entry["events"], dict):
+                raise ConfigurationError(
+                    f"{where}: 'events' must map step -> neuron indices, "
+                    f"got {type(entry['events']).__name__}"
+                )
+            events = {}
+            for step, indices in entry["events"].items():
+                step_index = _as_int(step, f"{where}: event step {step!r}")
+                if isinstance(indices, (str, bytes)) or not isinstance(
+                    indices, (list, tuple)
+                ):
+                    raise ConfigurationError(
+                        f"{where}: event step {step}: neuron indices "
+                        f"must be a list, got {indices!r}"
+                    )
+                events[step_index] = [
+                    _as_int(index, f"{where}: event step {step} index")
+                    for index in indices
+                ]
+            period = entry.get("period")
+            if period is not None:
+                period = _as_int(period, f"{where}: 'period'")
             network.add_stimulus(
                 PatternStimulus(
                     target,
                     events,
-                    weight=float(entry["weight"]),
-                    syn_type=int(entry.get("syn_type", 0)),
-                    period=entry.get("period"),
+                    weight=_as_float(entry["weight"], f"{where}: 'weight'"),
+                    syn_type=_as_int(
+                        entry.get("syn_type", 0), f"{where}: 'syn_type'"
+                    ),
+                    period=period,
                 )
             )
         else:
@@ -177,6 +280,11 @@ def build_network(spec: Dict) -> Network:
 def _build_plasticity(entry: Dict, where: str):
     from repro.plasticity import PairSTDP
 
+    if not isinstance(entry, dict):
+        raise ConfigurationError(
+            f"{where}: 'plasticity' must be an object, "
+            f"got {type(entry).__name__}"
+        )
     entry = dict(entry)
     rule_name = entry.pop("rule", None)
     if rule_name != "pair_stdp":
@@ -184,7 +292,12 @@ def _build_plasticity(entry: Dict, where: str):
             f"{where}: unknown plasticity rule {rule_name!r} "
             "(supported: 'pair_stdp')"
         )
-    return PairSTDP(**entry)
+    try:
+        return PairSTDP(**entry)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"{where}: invalid plasticity parameters: {error}"
+        ) from None
 
 
 def build_backend(spec: Dict) -> Backend:
@@ -196,7 +309,7 @@ def build_backend(spec: Dict) -> Backend:
     )
 
     name = spec.get("backend", "reference")
-    dt = float(spec.get("dt", 1e-4))
+    dt = _as_float(spec.get("dt", 1e-4), "top-level 'dt'")
     solver = spec.get("solver", "Euler")
     if name == "reference":
         return ReferenceBackend(solver)
@@ -218,8 +331,8 @@ def build_simulation(spec: Dict) -> Tuple[Simulator, Network]:
     simulator = Simulator(
         network,
         backend,
-        dt=float(spec.get("dt", 1e-4)),
-        seed=int(spec.get("seed", 0)),
+        dt=_as_float(spec.get("dt", 1e-4), "top-level 'dt'"),
+        seed=_as_int(spec.get("seed", 0), "top-level 'seed'"),
     )
     return simulator, network
 

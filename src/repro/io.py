@@ -1,0 +1,94 @@
+"""Crash-safe file output shared by every layer that writes artifacts.
+
+A killed process must never leave a truncated checkpoint, stats dump,
+or benchmark export behind — a half-written JSON file is worse than no
+file, because downstream tooling trusts whatever parses. Every writer
+in the repo therefore goes through the same discipline:
+
+1. write the complete payload to a temporary file *in the destination
+   directory* (same filesystem, so the rename below is atomic),
+2. flush and ``fsync`` so the bytes are durably on disk,
+3. ``os.replace`` the temporary file over the destination.
+
+A crash — including SIGKILL — at any point leaves either the previous
+good file or no file, never a partial one. The helpers here are the
+single implementation (extracted from the checkpoint writer, which
+pioneered the pattern in this repo):
+
+* :func:`atomic_writer` — context manager yielding a file handle;
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` — one-shot
+  payload writers;
+* :func:`atomic_write_json` — the JSON artifact writer used by
+  ``repro run --stats-json``, ``repro sweep --stats-json``,
+  ``BENCH_profile.json``, and the benchmark exports.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from typing import Iterator, Union
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "atomic_writer",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@contextlib.contextmanager
+def atomic_writer(path: PathLike, mode: str = "wb") -> Iterator:
+    """Open a temp file that atomically replaces ``path`` on success.
+
+    The handle is flushed, fsynced and renamed over ``path`` only when
+    the ``with`` body completes; any exception (or a process kill)
+    leaves the previous file contents untouched. ``mode`` must be a
+    write mode (``"wb"`` or ``"w"``); text mode writes UTF-8.
+    """
+    if "w" not in mode:
+        raise ValueError(f"atomic_writer needs a write mode, got {mode!r}")
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix="." + os.path.basename(path) + "-", suffix=".tmp",
+        dir=directory,
+    )
+    try:
+        encoding = None if "b" in mode else "utf-8"
+        with os.fdopen(fd, mode, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    with atomic_writer(path, "wb") as handle:
+        handle.write(data)
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Atomically replace ``path`` with UTF-8 ``text``."""
+    with atomic_writer(path, "w") as handle:
+        handle.write(text)
+
+
+def atomic_write_json(
+    path: PathLike,
+    payload,
+    indent: int = 2,
+    sort_keys: bool = False,
+) -> None:
+    """Atomically write ``payload`` as JSON (trailing newline included)."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    atomic_write_text(path, text)

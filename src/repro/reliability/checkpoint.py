@@ -31,14 +31,13 @@ numpy's ``allow_pickle`` files): only load checkpoints you produced.
 
 from __future__ import annotations
 
-import os
 import pickle
-import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.engine.hooks import PhaseHook
 from repro.errors import CheckpointError
+from repro.io import atomic_writer
 from repro.network.backends import RuntimeBackend
 from repro.network.recorder import SpikeRecorder
 from repro.network.simulator import Simulator
@@ -171,20 +170,10 @@ class Checkpoint:
     # -- file round trip ---------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Write atomically (temp file + rename) so a crash mid-write
-        never destroys the previous good checkpoint."""
-        directory = os.path.dirname(os.path.abspath(path))
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=".checkpoint-", suffix=".tmp", dir=directory
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_path, path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+        """Write atomically (via :func:`repro.io.atomic_writer`) so a
+        crash mid-write never destroys the previous good checkpoint."""
+        with atomic_writer(path, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
     @classmethod
     def load(cls, path: str) -> "Checkpoint":

@@ -1,0 +1,64 @@
+"""Supervision layer: process-isolated workers that survive anything.
+
+The reliability layer (checkpoints, numeric guards, fallback runtimes)
+keeps a *healthy process* honest; this package keeps the *sweep* honest
+when the process itself dies. A :class:`Supervisor` runs simulation
+jobs (:class:`JobSpec`) in spawned worker subprocesses, enforcing
+wall-clock deadlines and progress heartbeats with a watchdog, retrying
+failures with exponential backoff + jitter (:class:`RetryPolicy`),
+resuming killed jobs from their latest checkpoint bit-identically, and
+classifying every failure (``timeout`` / ``crash`` / ``numerics`` /
+``oom-like``) into structured :class:`JobReport` records. Repeated
+numerics failures trip a per-backend circuit breaker that degrades jobs
+to the verbatim solver backend — :class:`~repro.reliability.fallback.
+FallbackRuntime` semantics lifted to the job level.
+
+Entry points:
+
+* ``python -m repro sweep`` — run a registry of workloads under
+  supervision from the command line;
+* :func:`repro.experiments.common.supervised_profiles` — the opt-in
+  supervised path for figure sweeps;
+* :mod:`repro.supervision.interrupt` — graceful SIGINT/SIGTERM for
+  foreground ``repro run`` (final checkpoint + partial stats + a
+  documented exit code instead of a traceback).
+
+Exports resolve lazily (PEP 562, like :mod:`repro.reliability`): the
+worker and supervisor import the simulator stack, and eager imports
+here would slow ``import repro`` and risk cycles.
+"""
+
+import importlib
+
+_EXPORTS = {
+    "AttemptReport": "repro.supervision.job",
+    "EXIT_CODES": "repro.supervision.interrupt",
+    "FAILURE_KINDS": "repro.supervision.job",
+    "InterruptHook": "repro.supervision.interrupt",
+    "JobReport": "repro.supervision.job",
+    "JobSpec": "repro.supervision.job",
+    "RetryPolicy": "repro.supervision.backoff",
+    "Supervisor": "repro.supervision.supervisor",
+    "SweepReport": "repro.supervision.job",
+    "graceful_signals": "repro.supervision.interrupt",
+    "run_job_inline": "repro.supervision.worker",
+    "spike_digest": "repro.supervision.job",
+    "worker_entry": "repro.supervision.worker",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted({*globals(), *_EXPORTS})

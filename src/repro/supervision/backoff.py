@@ -1,0 +1,86 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+A failed job is retried up to a budget; between attempts the supervisor
+sleeps ``base_delay * factor ** attempt`` seconds, capped at
+``max_delay`` and stretched by up to ``jitter`` fractional noise so a
+fleet of jobs that failed together does not retry in lockstep (the
+classic thundering-herd mitigation).
+
+The jitter draws from a caller-supplied RNG, so tests can pin the exact
+delay sequence: ``RetryPolicy.delays(seed)`` is a pure function of the
+policy and seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import SupervisionError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed job, and how long to wait."""
+
+    #: Retries after the first attempt (0 = never retry).
+    max_retries: int = 2
+    base_delay: float = 0.5
+    factor: float = 2.0
+    max_delay: float = 30.0
+    #: Maximum fractional stretch applied to each delay (0 disables).
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise SupervisionError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise SupervisionError("delays must be non-negative")
+        if self.factor < 1.0:
+            raise SupervisionError(
+                f"backoff factor must be >= 1, got {self.factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SupervisionError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a job may consume (first try + retries)."""
+        return self.max_retries + 1
+
+    def delay(
+        self, attempt: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Seconds to wait after failed attempt index ``attempt``.
+
+        ``attempt`` is 0-based (the delay *after* the first attempt is
+        ``delay(0)``). With no RNG the undithered base delay is
+        returned; with one, the delay is stretched by a uniform factor
+        in ``[1, 1 + jitter]``.
+        """
+        if attempt < 0:
+            raise SupervisionError(f"attempt must be >= 0, got {attempt}")
+        base = min(self.max_delay, self.base_delay * self.factor**attempt)
+        if rng is None or self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+    def delays(self, seed: int = 0) -> Iterator[float]:
+        """The full deterministic delay sequence for one job.
+
+        Yields ``max_retries`` delays drawn from an RNG seeded with
+        ``seed`` — the supervisor derives the seed from the job name so
+        two jobs never share a jitter stream, and a re-run of the same
+        sweep backs off identically.
+        """
+        rng = np.random.default_rng(seed)
+        for attempt in range(self.max_retries):
+            yield self.delay(attempt, rng)

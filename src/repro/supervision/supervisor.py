@@ -1,0 +1,514 @@
+"""The Supervisor: process-isolated job execution with a watchdog.
+
+A long figure sweep must survive everything a single process cannot:
+a hung solver, an OOM-killed worker, a stray SIGKILL. The supervisor
+gets that robustness the same way the FPGA frameworks get fault
+isolation from hardware partitioning — by putting every job in its own
+failure domain:
+
+* **Isolation** — each attempt runs :func:`~repro.supervision.worker.
+  worker_entry` in a freshly *spawned* process (no forked state, no
+  shared numpy buffers); the :class:`~repro.supervision.job.JobSpec`
+  travels over a pipe.
+* **Deadlines & heartbeats** — the watchdog loop polls the worker's
+  pipe; if the per-job wall-clock deadline expires or progress
+  heartbeats stall past ``heartbeat_timeout``, the worker is SIGKILLed
+  and the attempt is classified ``timeout``.
+* **Retry with backoff** — failed attempts retry up to the
+  :class:`~repro.supervision.backoff.RetryPolicy` budget, sleeping
+  exponentially with per-job deterministic jitter between attempts.
+* **Checkpoint recovery** — workers checkpoint every N steps through
+  the reliability layer; a retried attempt resumes from the latest
+  snapshot, so a kill costs only the interval since it. Final spikes
+  are bit-identical to an uninterrupted run (chaos-test pinned).
+* **Circuit breaker** — repeated ``numerics`` failures on one backend
+  trip a per-backend breaker; further attempts for that backend run
+  degraded on the ``solver`` backend (the job-level analogue of
+  :class:`~repro.reliability.fallback.FallbackRuntime`) instead of
+  retrying a poisoned fast path forever.
+
+Observability rides on the telemetry layer: the supervisor publishes
+``supervisor_retries_total``, ``supervisor_jobs_completed`` /
+``supervisor_jobs_failed``, watchdog kills, breaker trips, and a
+heartbeat-lag histogram into its :class:`~repro.telemetry.registry.
+MetricsRegistry`, and records one Trace Event span per worker lifetime
+(Perfetto-loadable via ``repro sweep --trace``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import re
+import tempfile
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SupervisionError
+from repro.supervision.backoff import RetryPolicy
+from repro.supervision.job import (
+    AttemptReport,
+    JobReport,
+    JobSpec,
+    SweepReport,
+)
+from repro.supervision.worker import HEARTBEAT_INTERVAL, worker_entry
+
+__all__ = ["Supervisor"]
+
+#: Lag histogram buckets: 10 ms .. 30 s, tuned around heartbeat cadence.
+_LAG_BUCKETS = (0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0)
+
+
+def _checkpoint_filename(job_name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", job_name) + ".ckpt"
+
+
+class Supervisor:
+    """Runs :class:`JobSpec` batches in supervised worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent jobs (each job still runs its attempts serially).
+    retry:
+        The :class:`RetryPolicy`; defaults to 2 retries, 0.5 s base.
+    deadline_seconds:
+        Default per-job wall-clock deadline (a spec may override).
+    heartbeat_timeout:
+        Kill a worker whose progress heartbeats stall this long.
+    checkpoint_every:
+        Default checkpoint interval in steps (a spec may override;
+        0 disables checkpointing and with it crash *recovery* — retries
+        then restart from step 0).
+    checkpoint_dir:
+        Where job checkpoints live. ``None`` uses a temporary directory
+        scoped to one :meth:`run` call; naming a directory lets a sweep
+        resume across supervisor restarts.
+    breaker_threshold:
+        Numerics failures on one backend before its circuit breaker
+        trips.
+    metrics:
+        A :class:`~repro.telemetry.registry.MetricsRegistry` to publish
+        into (one is created when omitted).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        deadline_seconds: float = 120.0,
+        heartbeat_timeout: float = 15.0,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        checkpoint_every: int = 50,
+        checkpoint_dir: Optional[str] = None,
+        breaker_threshold: int = 2,
+        metrics=None,
+        seed: int = 0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise SupervisionError(f"workers must be >= 1, got {workers}")
+        if deadline_seconds <= 0:
+            raise SupervisionError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        if heartbeat_timeout <= 0:
+            raise SupervisionError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
+        if checkpoint_every < 0:
+            raise SupervisionError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if breaker_threshold < 1:
+            raise SupervisionError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if metrics is None:
+            from repro.telemetry import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.workers = workers
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.deadline_seconds = deadline_seconds
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        self.breaker_threshold = breaker_threshold
+        self.metrics = metrics
+        self.seed = seed
+        self.poll_interval = poll_interval
+        self._sleep = time.sleep
+        self._ctx = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._numerics_failures: Dict[str, int] = {}
+        self._spans: List[dict] = []
+        self._sweep_start = 0.0
+
+    # -- circuit breaker ---------------------------------------------------
+
+    def breaker_tripped(self, backend: str) -> bool:
+        """Whether the per-backend numerics circuit breaker is open."""
+        with self._lock:
+            count = self._numerics_failures.get(backend, 0)
+        return count >= self.breaker_threshold
+
+    def _record_numerics_failure(self, backend: str) -> None:
+        with self._lock:
+            count = self._numerics_failures.get(backend, 0) + 1
+            self._numerics_failures[backend] = count
+            if count == self.breaker_threshold:
+                self.metrics.counter(
+                    "supervisor_breaker_trips_total",
+                    "Per-backend numerics circuit breakers tripped.",
+                    {"backend": backend},
+                ).inc()
+
+    # -- metrics helpers (registry is not thread-safe) ---------------------
+
+    def _inc(self, name: str, help_text: str, labels=None,
+             amount: float = 1.0) -> None:
+        with self._lock:
+            self.metrics.counter(name, help_text, labels).inc(amount)
+
+    def _observe_lag(self, seconds: float) -> None:
+        with self._lock:
+            self.metrics.histogram(
+                "supervisor_heartbeat_lag_seconds",
+                "Gaps between successive worker progress signals.",
+                buckets=_LAG_BUCKETS,
+            ).observe(seconds)
+
+    def _set_lag_gauge(self, job: str, seconds: float) -> None:
+        with self._lock:
+            self.metrics.gauge(
+                "supervisor_heartbeat_lag_max_seconds",
+                "Largest heartbeat gap observed per job.",
+                {"job": job},
+            ).set(seconds)
+
+    # -- sweep entry point -------------------------------------------------
+
+    def run(self, jobs: Sequence[JobSpec]) -> SweepReport:
+        """Run every job under supervision; never raises for job failures."""
+        jobs = list(jobs)
+        if not jobs:
+            raise SupervisionError("no jobs to supervise")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SupervisionError(f"duplicate job names: {duplicates}")
+        self._spans = []
+        self._sweep_start = time.monotonic()
+        if self.checkpoint_dir is not None:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
+            reports = self._run_all(jobs, self.checkpoint_dir)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
+                reports = self._run_all(jobs, tmp)
+        wall = time.monotonic() - self._sweep_start
+        with self._lock:
+            snapshot = self.metrics.snapshot()
+        return SweepReport(
+            jobs=reports,
+            wall_seconds=wall,
+            metrics=snapshot,
+            trace_events=self._trace_events(jobs),
+        )
+
+    def _run_all(self, jobs: List[JobSpec], ckpt_dir: str) -> List[JobReport]:
+        if self.workers == 1 or len(jobs) == 1:
+            return [self._run_job(job, ckpt_dir) for job in jobs]
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(jobs)),
+            thread_name_prefix="supervise",
+        ) as pool:
+            return list(
+                pool.map(lambda job: self._run_job(job, ckpt_dir), jobs)
+            )
+
+    # -- one job: attempts, backoff, breaker -------------------------------
+
+    def _run_job(self, spec: JobSpec, ckpt_dir: str) -> JobReport:
+        checkpoint_every = (
+            spec.checkpoint_every
+            if spec.checkpoint_every is not None
+            else self.checkpoint_every
+        )
+        checkpoint_path = os.path.join(
+            ckpt_dir, _checkpoint_filename(spec.name)
+        )
+        jitter_rng = np.random.default_rng(
+            (self.seed + zlib.crc32(spec.name.encode("utf-8"))) & 0xFFFFFFFF
+        )
+        job_start = time.monotonic()
+        report = JobReport(
+            name=spec.name,
+            workload=spec.workload,
+            backend=spec.backend,
+            outcome="failed",
+        )
+        was_degraded = False
+        for attempt in range(self.retry.max_attempts):
+            degraded = (
+                spec.backend != "solver"
+                and self.breaker_tripped(spec.backend)
+            )
+            if degraded and not was_degraded:
+                # Checkpoints from the faulty fast path must not leak
+                # into the solver path: their runtime payloads differ.
+                was_degraded = True
+                try:
+                    os.unlink(checkpoint_path)
+                except OSError:
+                    pass
+            backend = "solver" if degraded else spec.backend
+            attempt_report, done = self._run_attempt(
+                spec, backend, attempt, degraded,
+                checkpoint_path, checkpoint_every,
+            )
+            report.attempts.append(attempt_report)
+            self._set_lag_gauge(spec.name, attempt_report.max_heartbeat_lag)
+            if attempt_report.outcome == "completed":
+                report.outcome = "completed"
+                report.failure_kind = None
+                report.degraded = degraded
+                report.steps = done["steps"]
+                report.total_spikes = done["total_spikes"]
+                report.spike_digest = done["spike_digest"]
+                report.stats = done["stats"]
+                report.profile = done["profile"]
+                break
+            report.failure_kind = attempt_report.outcome
+            if attempt_report.outcome == "numerics":
+                self._record_numerics_failure(backend)
+            if attempt < self.retry.max_retries:
+                self._inc(
+                    "supervisor_retries_total",
+                    "Supervised job attempts retried after a failure.",
+                    {"job": spec.name},
+                )
+                self._sleep(self.retry.delay(attempt, jitter_rng))
+        report.wall_seconds = time.monotonic() - job_start
+        if report.completed:
+            self._inc(
+                "supervisor_jobs_completed",
+                "Supervised jobs that finished successfully.",
+            )
+        else:
+            self._inc(
+                "supervisor_jobs_failed",
+                "Supervised jobs that exhausted their retry budget.",
+            )
+        return report
+
+    # -- one attempt: spawn, watch, classify -------------------------------
+
+    def _run_attempt(
+        self,
+        spec: JobSpec,
+        backend: str,
+        attempt: int,
+        degraded: bool,
+        checkpoint_path: str,
+        checkpoint_every: int,
+    ) -> Tuple[AttemptReport, Optional[dict]]:
+        spec_payload = spec.to_payload()
+        spec_payload["backend"] = backend
+        payload = {
+            "spec": spec_payload,
+            "attempt": attempt,
+            "degraded": degraded,
+            "checkpoint_path": checkpoint_path,
+            "checkpoint_every": checkpoint_every,
+            "heartbeat_interval": self.heartbeat_interval,
+        }
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_entry, args=(child_conn,), daemon=True
+        )
+        start = time.monotonic()
+        process.start()
+        child_conn.close()
+        deadline = start + (
+            spec.deadline_seconds
+            if spec.deadline_seconds is not None
+            else self.deadline_seconds
+        )
+        terminal: Optional[Tuple[str, dict]] = None
+        kill_reason: Optional[str] = None
+        last_beat = time.monotonic()
+        max_lag = 0.0
+        steps_completed = 0
+        resumed_from = 0
+        try:
+            parent_conn.send(payload)
+            while True:
+                try:
+                    ready = parent_conn.poll(self.poll_interval)
+                except (EOFError, OSError):
+                    break
+                if ready:
+                    try:
+                        kind, data = parent_conn.recv()
+                    except (EOFError, OSError):
+                        break
+                    now = time.monotonic()
+                    lag = now - last_beat
+                    max_lag = max(max_lag, lag)
+                    last_beat = now
+                    if kind == "started":
+                        resumed_from = int(data["resumed_from_step"])
+                        steps_completed = resumed_from
+                    elif kind == "heartbeat":
+                        steps_completed = int(data["step"])
+                        self._observe_lag(lag)
+                    elif kind in ("done", "failed"):
+                        terminal = (kind, data)
+                        break
+                    continue
+                now = time.monotonic()
+                if now >= deadline:
+                    kill_reason = "deadline"
+                    max_lag = max(max_lag, now - last_beat)
+                    break
+                if now - last_beat > self.heartbeat_timeout:
+                    kill_reason = "heartbeat"
+                    max_lag = max(max_lag, now - last_beat)
+                    break
+                if not process.is_alive():
+                    # Died without a terminal message; drain any final
+                    # bytes that raced the exit, then classify below.
+                    while parent_conn.poll(0):
+                        try:
+                            kind, data = parent_conn.recv()
+                        except (EOFError, OSError):
+                            break
+                        if kind in ("done", "failed"):
+                            terminal = (kind, data)
+                    break
+        finally:
+            if kill_reason is not None:
+                process.kill()
+                self._inc(
+                    "supervisor_worker_kills_total",
+                    "Workers SIGKILLed by the watchdog.",
+                    {"reason": kill_reason},
+                )
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=10.0)
+            parent_conn.close()
+        wall = time.monotonic() - start
+
+        outcome, error = self._classify(
+            terminal, kill_reason, process.exitcode, wall
+        )
+        done_payload = None
+        if terminal is not None and terminal[0] == "done":
+            done_payload = terminal[1]
+            steps_completed = int(done_payload["steps"])
+        attempt_report = AttemptReport(
+            attempt=attempt,
+            outcome=outcome,
+            backend=backend,
+            error=error,
+            resumed_from_step=resumed_from,
+            steps_completed=steps_completed,
+            wall_seconds=wall,
+            max_heartbeat_lag=max_lag,
+        )
+        self._record_span(spec, attempt_report, start)
+        return attempt_report, done_payload
+
+    def _classify(
+        self,
+        terminal: Optional[Tuple[str, dict]],
+        kill_reason: Optional[str],
+        exitcode: Optional[int],
+        wall: float,
+    ) -> Tuple[str, str]:
+        """Map what the watchdog saw onto the failure taxonomy."""
+        if terminal is not None:
+            kind, data = terminal
+            if kind == "done":
+                return "completed", ""
+            reported = data.get("kind", "crash")
+            return reported, str(data.get("error", ""))
+        if kill_reason == "deadline":
+            return "timeout", f"deadline exceeded after {wall:.1f}s"
+        if kill_reason == "heartbeat":
+            return (
+                "timeout",
+                f"heartbeats stalled for > {self.heartbeat_timeout:.1f}s",
+            )
+        import signal as _signal
+
+        if exitcode is not None and exitcode == -int(_signal.SIGKILL):
+            # SIGKILL we did not send: the kernel OOM killer's signature.
+            return "oom-like", "worker SIGKILLed (exit code -9)"
+        return "crash", f"worker exited with code {exitcode} silently"
+
+    # -- worker-lifetime trace spans ---------------------------------------
+
+    def _record_span(
+        self, spec: JobSpec, attempt: AttemptReport, start: float
+    ) -> None:
+        with self._lock:
+            self._spans.append(
+                {
+                    "name": f"{spec.name} #{attempt.attempt}",
+                    "cat": "worker",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": 0,  # re-assigned per job at export time
+                    "ts": round((start - self._sweep_start) * 1e6, 3),
+                    "dur": round(attempt.wall_seconds * 1e6, 3),
+                    "args": {
+                        "job": spec.name,
+                        "attempt": attempt.attempt,
+                        "backend": attempt.backend,
+                        "outcome": attempt.outcome,
+                        "steps_completed": attempt.steps_completed,
+                        "resumed_from_step": attempt.resumed_from_step,
+                    },
+                }
+            )
+
+    def _trace_events(self, jobs: Sequence[JobSpec]) -> List[dict]:
+        """Worker-lifetime spans plus Perfetto track metadata."""
+        tids = {job.name: index + 1 for index, job in enumerate(jobs)}
+        events: List[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "repro:sweep"},
+            }
+        ]
+        for name, tid in tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": f"job:{name}"},
+                }
+            )
+        with self._lock:
+            for span in self._spans:
+                span = dict(span)
+                span["tid"] = tids.get(span["args"]["job"], 0)
+                events.append(span)
+        return events

@@ -1,0 +1,322 @@
+"""The supervised worker: one simulation job in one spawned process.
+
+:func:`worker_entry` is the ``multiprocessing`` target. It is
+spawn-safe by construction: the process receives nothing but a pipe
+connection; the first message on the pipe is the serialized
+:class:`~repro.supervision.job.JobSpec` plus attempt context, and every
+result travels back over the same pipe:
+
+``("started", {...})``
+    Sent once the simulator is built, with ``resumed_from_step`` > 0
+    when a previous attempt's checkpoint was restored.
+``("heartbeat", {"step": ..., "phase": ...})``
+    The progress signal the supervisor's watchdog feeds on. Emitted
+    from the per-phase event stream, throttled by wall clock so the
+    hot loop pays one ``monotonic()`` read per phase.
+``("done", {...})``
+    Final spike digest, counts, run statistics, and the measured
+    per-unit activity profile.
+``("failed", {"kind": ..., "error": ..., "step": ...})``
+    A structured failure the worker caught itself: ``numerics`` from
+    the :class:`~repro.reliability.guard.NumericsGuard`, ``oom-like``
+    from ``MemoryError``, ``crash`` for anything else. Failures the
+    worker *cannot* report (SIGKILL, a hard hang) are classified by
+    the supervisor from the process exit code and heartbeat record.
+
+Checkpointing uses the reliability layer verbatim: a
+:class:`~repro.reliability.checkpoint.CheckpointHook` writes the job's
+checkpoint file every N steps (atomically), and a retried attempt
+restores it so a kill costs only the interval since the last snapshot —
+the resumed spike train is bit-identical to an uninterrupted run
+(pinned by the chaos tests via :func:`~repro.supervision.job.spike_digest`).
+
+The ``chaos_*`` fields of the spec make the worker sabotage itself at a
+chosen step (SIGKILL, stall, raise, or NaN-poison its own state via the
+reliability layer's :class:`~repro.reliability.faults.FaultInjector`) —
+the supervised analogue of fault injection, used by the chaos tests and
+the CI kill/resume smoke.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.supervision.job import JobSpec, spike_digest
+
+#: Seconds between heartbeats (wall clock, not steps: a slow step still
+#: heartbeats every phase, a fast run does not flood the pipe).
+HEARTBEAT_INTERVAL = 0.1
+
+
+def _build_backend(spec: JobSpec, solver_name: str):
+    """The backend a job runs on (mirrors the ``repro run`` mapping)."""
+    if spec.backend == "reference":
+        from repro.network.backends import ReferenceBackend
+
+        return ReferenceBackend(solver_name)
+    if spec.backend == "solver":
+        from repro.network.backends import ReferenceBackend
+
+        return ReferenceBackend(solver_name, use_engine=False)
+    if spec.backend == "flexon":
+        from repro.hardware.backend import FlexonBackend
+
+        return FlexonBackend(spec.dt)
+    from repro.hardware.backend import FoldedFlexonBackend
+
+    return FoldedFlexonBackend(spec.dt)
+
+
+def _build_simulator(spec: JobSpec):
+    """Network + backend + simulator for one job (deterministic).
+
+    Seeding follows the repo convention (``repro run``, the profile
+    harness): the network builds with ``spec.seed``, the simulator's
+    stimulus RNG with ``spec.seed + 1`` — so a supervised job, a
+    resumed job, and a plain in-process run all produce bit-identical
+    spikes.
+    """
+    from repro.network.simulator import Simulator
+    from repro.workloads import build_workload, get_spec
+
+    workload_spec = get_spec(spec.workload)
+    solver_name = spec.solver or workload_spec.solver
+    network = build_workload(spec.workload, scale=spec.scale, seed=spec.seed)
+    backend = _build_backend(spec, solver_name)
+    simulator = Simulator(network, backend, dt=spec.dt, seed=spec.seed + 1)
+    return simulator, network
+
+
+def _profile_payload(spec: JobSpec, network, result, steps_run: int) -> dict:
+    """Per-unit activity rates (the ``WorkloadProfile`` fields).
+
+    Event rates are measured over the steps this attempt actually
+    executed (``steps_run``); the firing rate uses the full spike train
+    (which on a resumed run includes the checkpointed prefix) over the
+    job's full duration.
+    """
+    duration = spec.steps * spec.dt
+    n = network.n_neurons
+    synapses = max(1, network.n_synapses)
+    steps_run = max(1, steps_run)
+    evaluations = result.evaluations_per_step
+    mean_evals = (
+        sum(evaluations.values()) / len(evaluations) if evaluations else 1.0
+    )
+    model = next(iter(network.populations.values())).model
+    return {
+        "name": spec.workload,
+        "scale": spec.scale,
+        "n_neurons": n,
+        "n_synapses": network.n_synapses,
+        "firing_rate_hz": result.total_spikes() / max(1, n) / duration,
+        "synaptic_event_rate": result.synaptic_events / steps_run / synapses,
+        "stimulus_event_rate": result.stimulus_events / steps_run / max(1, n),
+        "evaluations_per_step": mean_evals,
+        "ops_per_update": dict(model.ops_per_update()),
+    }
+
+
+class _HeartbeatHook:
+    """Sends throttled progress heartbeats over the pipe.
+
+    Implemented against the :class:`~repro.engine.hooks.PhaseHook`
+    protocol (duck-typed; it subclasses the real base at import time in
+    :func:`_make_hooks` to keep this module import-light for spawn).
+    """
+
+    def __init__(self, conn, interval: float = HEARTBEAT_INTERVAL) -> None:
+        self.conn = conn
+        self.interval = interval
+        self._last = time.monotonic()
+        self._broken = False
+
+    def beat(self, step: int, phase: str) -> None:
+        if self._broken:
+            return
+        now = time.monotonic()
+        if now - self._last < self.interval:
+            return
+        self._last = now
+        try:
+            self.conn.send(("heartbeat", {"step": step, "phase": phase}))
+        except (BrokenPipeError, OSError):
+            # The supervisor went away; keep simulating — the final
+            # "done" send will fail loudly if the pipe is truly dead.
+            self._broken = True
+
+
+class _ChaosHook:
+    """Self-sabotage at a chosen step (chaos tests / CI smoke)."""
+
+    def __init__(self, spec: JobSpec, simulator, attempt: int,
+                 degraded: bool) -> None:
+        self.spec = spec
+        self.simulator = simulator
+        #: Kill/stall/crash chaos applies on one attempt only.
+        self.armed = attempt == spec.chaos_attempt
+        #: NaN chaos applies while the job still runs its original
+        #: backend — the degraded solver path is the "safe" target.
+        self.nan_armed = spec.chaos_nan_at_step is not None and not degraded
+
+    def trigger(self, step: int) -> None:
+        spec = self.spec
+        if self.armed and step == spec.chaos_kill_at_step:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.armed and step == spec.chaos_stall_at_step:
+            while True:  # pragma: no cover - killed by the watchdog
+                time.sleep(3600)
+        if self.armed and step == spec.chaos_crash_at_step:
+            # A ReproError propagates out of the hook dispatch (plain
+            # exceptions would merely detach the hook), so the worker's
+            # top-level handler reports it as a structured crash.
+            from repro.errors import SupervisionError
+
+            raise SupervisionError(f"chaos crash injected at step {step}")
+        if self.nan_armed and step == spec.chaos_nan_at_step:
+            from repro.reliability.faults import FaultInjector
+
+            population = next(iter(self.simulator.network.populations))
+            FaultInjector(self.simulator, seed=spec.seed).inject_nan(
+                population
+            )
+
+
+def _make_hooks(spec: JobSpec, simulator, conn, attempt: int,
+                degraded: bool, checkpoint_path: Optional[str],
+                checkpoint_every: int, heartbeat_interval: float):
+    """Assemble the worker's hook stack (imports deferred for spawn)."""
+    from repro.engine.hooks import PhaseHook
+    from repro.reliability.checkpoint import CheckpointHook
+    from repro.reliability.guard import NumericsGuard
+
+    heartbeat = _HeartbeatHook(conn, heartbeat_interval)
+    chaos = _ChaosHook(spec, simulator, attempt, degraded)
+
+    class WorkerHook(PhaseHook):
+        """Heartbeats + chaos, fused so the loop dispatches one hook."""
+
+        def on_step_start(self, step: int) -> None:
+            chaos.trigger(step)
+
+        def on_phase(self, phase: str, step: int, seconds: float,
+                     operations: int) -> None:
+            heartbeat.beat(step, phase)
+
+    hooks = [WorkerHook(), NumericsGuard(simulator.backend)]
+    if checkpoint_path and checkpoint_every > 0:
+        hooks.append(
+            CheckpointHook(simulator, checkpoint_every, checkpoint_path)
+        )
+    return hooks
+
+
+def run_job_inline(spec: JobSpec) -> Dict[str, object]:
+    """Run a job to completion in-process, unsupervised.
+
+    The uninterrupted baseline the chaos tests compare digests
+    against — same build path, same seeding, no subprocess.
+    """
+    simulator, network = _build_simulator(spec)
+    result = simulator.run(spec.steps)
+    return {
+        "steps": simulator.current_step,
+        "total_spikes": result.total_spikes(),
+        "spike_digest": spike_digest(result.spikes),
+        "stats": result.to_stats_dict(),
+        "profile": _profile_payload(spec, network, result, spec.steps),
+    }
+
+
+def worker_entry(conn) -> None:
+    """Process target: receive a job over ``conn``, run it, report back."""
+    # The supervisor owns this process's lifecycle (it SIGKILLs on
+    # deadline/stall); a terminal Ctrl-C must interrupt the supervisor,
+    # not race it by killing workers directly.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    payload = conn.recv()
+    spec = JobSpec.from_payload(payload["spec"])
+    attempt = int(payload.get("attempt", 0))
+    degraded = bool(payload.get("degraded", False))
+    checkpoint_path = payload.get("checkpoint_path")
+    checkpoint_every = int(payload.get("checkpoint_every", 0))
+    heartbeat_interval = float(
+        payload.get("heartbeat_interval", HEARTBEAT_INTERVAL)
+    )
+
+    from repro.errors import CheckpointError, NumericsError
+    from repro.reliability.checkpoint import Checkpoint
+
+    step = -1
+    try:
+        simulator, network = _build_simulator(spec)
+        spikes = None
+        resumed_from = 0
+        if checkpoint_path and os.path.exists(checkpoint_path):
+            try:
+                checkpoint = Checkpoint.load(checkpoint_path)
+                checkpoint.restore(simulator)
+                spikes = checkpoint.seed_recorder()
+                resumed_from = simulator.current_step
+            except CheckpointError:
+                # A stale or torn-signature checkpoint must not wedge
+                # the job forever: start fresh instead.
+                simulator, network = _build_simulator(spec)
+        conn.send(
+            ("started", {
+                "pid": os.getpid(),
+                "attempt": attempt,
+                "resumed_from_step": resumed_from,
+            })
+        )
+        hooks = _make_hooks(
+            spec, simulator, conn, attempt, degraded,
+            checkpoint_path, checkpoint_every, heartbeat_interval,
+        )
+        remaining = spec.steps - resumed_from
+        if remaining < 0:
+            raise CheckpointError(
+                f"checkpoint at step {resumed_from} is past the job's "
+                f"{spec.steps} steps"
+            )
+        result = simulator.run(remaining, hooks=hooks, spikes=spikes)
+        step = simulator.current_step
+        conn.send(
+            ("done", {
+                "steps": step,
+                "resumed_from_step": resumed_from,
+                "total_spikes": result.total_spikes(),
+                "spike_digest": spike_digest(result.spikes),
+                "stats": result.to_stats_dict(),
+                "profile": _profile_payload(
+                    spec, network, result, max(1, remaining)
+                ),
+            })
+        )
+    except NumericsError as error:
+        _send_failure(conn, "numerics", error, getattr(error, "step", step))
+        sys.exit(1)
+    except MemoryError as error:
+        _send_failure(conn, "oom-like", error, step)
+        sys.exit(1)
+    except BaseException as error:  # noqa: BLE001 - classified, reported
+        _send_failure(conn, "crash", error, step)
+        sys.exit(1)
+    finally:
+        conn.close()
+
+
+def _send_failure(conn, kind: str, error: BaseException, step: int) -> None:
+    try:
+        conn.send(
+            ("failed", {"kind": kind, "error": repr(error), "step": step})
+        )
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+        pass

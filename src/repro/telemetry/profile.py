@@ -25,7 +25,6 @@ both feed one perf-trajectory tooling path.
 from __future__ import annotations
 
 import gc
-import json
 import pathlib
 import platform
 import time
@@ -34,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.io import atomic_write_json
 from repro.network.simulator import Simulator
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.trace import TraceHook
@@ -307,5 +307,10 @@ def format_profile(payload: dict) -> str:
 
 
 def write_profile(payload: dict, path) -> None:
-    """Write the payload as ``BENCH_profile.json``-style output."""
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    """Write the payload as ``BENCH_profile.json``-style output.
+
+    Written atomically (:func:`repro.io.atomic_write_json`): a run
+    killed mid-export leaves the previous profile intact rather than a
+    truncated JSON document.
+    """
+    atomic_write_json(pathlib.Path(path), payload)

@@ -8,7 +8,7 @@ fast) — the experiment harnesses measure per-neuron/per-synapse rates
 at a reduced scale and evaluate the cost models at full scale.
 """
 
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.spec import WorkloadSpec, validate_scale
 from repro.workloads.registry import (
     WORKLOADS,
     build_workload,
@@ -21,5 +21,6 @@ __all__ = [
     "WorkloadSpec",
     "build_workload",
     "get_spec",
+    "validate_scale",
     "workload_names",
 ]

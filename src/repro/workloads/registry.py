@@ -8,7 +8,7 @@ from repro.errors import UnknownModelError
 from repro.network.network import Network
 from repro.workloads import brette, brunel, destexhe, izhikevich_net
 from repro.workloads import muller, nowotny, potjans, vogels
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.spec import WorkloadSpec, validate_scale
 
 Builder = Callable[[float, int], Network]
 
@@ -52,4 +52,4 @@ def build_workload(name: str, scale: float = 1.0, seed: int = 0) -> Network:
         raise UnknownModelError(
             f"unknown workload {name!r}; known: {known}"
         ) from None
-    return builder(scale, seed)
+    return builder(validate_scale(scale), seed)

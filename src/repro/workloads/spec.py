@@ -8,6 +8,23 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 
 
+def validate_scale(scale) -> float:
+    """``scale`` as a positive finite float, or a field-level error.
+
+    Every scaled-build entry point funnels through this, so a workload
+    built with ``scale="0.1"`` or ``scale=-1`` fails with a
+    :class:`~repro.errors.ConfigurationError` naming the field instead
+    of a ``TypeError`` from an arithmetic comparison deep in a builder.
+    """
+    if isinstance(scale, bool) or not isinstance(scale, (int, float)):
+        raise ConfigurationError(f"scale must be a number, got {scale!r}")
+    if not math.isfinite(scale) or scale <= 0:
+        raise ConfigurationError(
+            f"scale must be positive and finite, got {scale}"
+        )
+    return float(scale)
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """One Table I row: structure, neuron model, solver, framework."""
@@ -22,17 +39,42 @@ class WorkloadSpec:
     description: str = ""
 
     def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(
+                f"workload name must be a non-empty string, got {self.name!r}"
+            )
+        for key in ("paper_neurons", "paper_synapses", "n_synapse_types"):
+            value = getattr(self, key)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"workload {self.name!r}: {key} must be an integer, "
+                    f"got {value!r}"
+                )
         if self.paper_neurons <= 0 or self.paper_synapses <= 0:
-            raise ConfigurationError("paper counts must be positive")
+            raise ConfigurationError(
+                f"workload {self.name!r}: paper neuron/synapse counts "
+                f"must be positive, got {self.paper_neurons} / "
+                f"{self.paper_synapses}"
+            )
+        if self.n_synapse_types < 1:
+            raise ConfigurationError(
+                f"workload {self.name!r}: n_synapse_types must be >= 1, "
+                f"got {self.n_synapse_types}"
+            )
         if self.solver not in ("Euler", "RKF45"):
-            raise ConfigurationError(f"unknown solver {self.solver!r}")
+            raise ConfigurationError(
+                f"workload {self.name!r}: unknown solver {self.solver!r} "
+                "(choose 'Euler' or 'RKF45')"
+            )
         if self.framework not in ("NEST", "GeNN"):
-            raise ConfigurationError(f"unknown framework {self.framework!r}")
+            raise ConfigurationError(
+                f"workload {self.name!r}: unknown framework "
+                f"{self.framework!r} (choose 'NEST' or 'GeNN')"
+            )
 
     def scaled_neurons(self, scale: float) -> int:
         """Neuron count at the given scale (>= 20 to stay meaningful)."""
-        if scale <= 0:
-            raise ConfigurationError(f"scale must be positive, got {scale}")
+        scale = validate_scale(scale)
         return max(20, int(round(self.paper_neurons * scale)))
 
     def scaled_synapses(self, scale: float) -> int:

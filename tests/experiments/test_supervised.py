@@ -1,0 +1,45 @@
+"""Tests: the supervised figure-sweep path is a drop-in for in-process."""
+
+import pytest
+
+from repro.errors import SupervisionError
+from repro.experiments import figure3
+from repro.experiments.common import profile_workload, supervised_profiles
+from repro.supervision import RetryPolicy, Supervisor
+
+WORKLOAD = "Nowotny et al."
+SCALE = 0.05
+STEPS = 100
+SEED = 3
+
+
+class TestSupervisedProfiles:
+    def test_matches_in_process_profile_exactly(self):
+        inline = profile_workload(
+            WORKLOAD, scale=SCALE, steps=STEPS, seed=SEED
+        )
+        [supervised] = supervised_profiles(
+            [WORKLOAD], scale=SCALE, steps=STEPS, seed=SEED
+        )
+        assert supervised == inline
+
+    def test_failed_job_raises_with_failure_kind(self):
+        supervisor = Supervisor(
+            retry=RetryPolicy(max_retries=0),
+            deadline_seconds=0.001,  # guaranteed watchdog kill
+        )
+        with pytest.raises(SupervisionError, match="timeout"):
+            supervised_profiles(
+                [WORKLOAD], scale=SCALE, steps=STEPS, seed=SEED,
+                supervisor=supervisor,
+            )
+
+
+class TestFigure3Supervised:
+    def test_supervised_rows_equal_inline_rows(self):
+        kwargs = dict(
+            scale=SCALE, steps=STEPS, seed=SEED, names=[WORKLOAD]
+        )
+        inline_rows = figure3.run(**kwargs)
+        supervised_rows = figure3.run(supervised=True, **kwargs)
+        assert supervised_rows == inline_rows

@@ -250,3 +250,55 @@ class TestTelemetryCli:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestSweepCli:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workloads == []
+        assert args.backend == "reference"
+        assert args.max_retries == 2
+        assert args.deadline == 120.0
+        assert args.checkpoint_every == 50
+        assert args.workers == 1
+        assert args.chaos_kill_at is None
+
+    def test_sweep_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["sweep", "NoSuchNet"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_sweep_runs_supervised_jobs(self, tmp_path, capsys):
+        import json
+
+        stats = tmp_path / "sweep.json"
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["sweep", "Nowotny et al.", "--scale", "0.05",
+             "--steps", "100", "--seed", "3",
+             "--stats-json", str(stats), "--trace", str(trace)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1/1 jobs completed" in out
+        assert "completed" in out
+        doc = json.loads(stats.read_text())
+        assert doc["schema"] == "repro-sweep/1"
+        assert doc["jobs"][0]["name"] == "Nowotny et al."
+        assert doc["jobs"][0]["outcome"] == "completed"
+        assert doc["metrics"]["supervisor_jobs_completed"]
+        trace_doc = json.loads(trace.read_text())
+        assert any(
+            event.get("ph") == "X" for event in trace_doc["traceEvents"]
+        )
+
+    def test_sweep_chaos_kill_retries_and_resumes(self, capsys):
+        code = main(
+            ["sweep", "Nowotny et al.", "--scale", "0.05",
+             "--steps", "100", "--seed", "3",
+             "--chaos-kill-at", "60", "--checkpoint-every", "25",
+             "--backoff-base", "0.01"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out
+        assert "1/1 jobs completed" in out

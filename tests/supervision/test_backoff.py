@@ -1,0 +1,56 @@
+"""Tests for the retry/backoff policy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SupervisionError
+from repro.supervision import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            max_retries=4, base_delay=0.5, factor=2.0, jitter=0.0
+        )
+        assert [policy.delay(a) for a in range(4)] == [0.5, 1.0, 2.0, 4.0]
+
+    def test_delays_cap_at_max_delay(self):
+        policy = RetryPolicy(
+            max_retries=10, base_delay=1.0, factor=10.0, max_delay=5.0,
+            jitter=0.0,
+        )
+        assert policy.delay(9) == 5.0
+
+    def test_jitter_stretches_within_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, factor=1.0, jitter=0.25)
+        rng = np.random.default_rng(0)
+        for attempt in range(20):
+            delay = policy.delay(attempt, rng)
+            assert 1.0 <= delay <= 1.25
+
+    def test_delay_sequence_is_deterministic_per_seed(self):
+        policy = RetryPolicy(max_retries=5)
+        assert list(policy.delays(7)) == list(policy.delays(7))
+        assert list(policy.delays(7)) != list(policy.delays(8))
+
+    def test_max_attempts_includes_first_try(self):
+        assert RetryPolicy(max_retries=0).max_attempts == 1
+        assert RetryPolicy(max_retries=3).max_attempts == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay": -0.1},
+            {"factor": 0.5},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(SupervisionError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(SupervisionError):
+            RetryPolicy().delay(-1)

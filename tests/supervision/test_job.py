@@ -1,0 +1,104 @@
+"""Tests for job specs, the failure taxonomy, and structured reports."""
+
+import pytest
+
+from repro.errors import SupervisionError
+from repro.supervision import FAILURE_KINDS, JobSpec
+from repro.supervision.job import AttemptReport, JobReport, SweepReport
+
+
+class TestJobSpec:
+    def test_payload_roundtrip(self):
+        spec = JobSpec(
+            name="job-1",
+            workload="Brunel",
+            backend="folded",
+            steps=120,
+            scale=0.1,
+            seed=9,
+            solver="RKF45",
+            deadline_seconds=30.0,
+            checkpoint_every=25,
+            chaos_kill_at_step=60,
+        )
+        assert JobSpec.from_payload(spec.to_payload()) == spec
+
+    def test_payload_is_plain_data(self):
+        payload = JobSpec(name="j", workload="Brunel").to_payload()
+        assert isinstance(payload, dict)
+        assert payload["name"] == "j"
+        assert payload["backend"] == "reference"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SupervisionError, match="backend"):
+            JobSpec(name="j", workload="Brunel", backend="quantum")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SupervisionError, match="name"):
+            JobSpec(name="", workload="Brunel")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"steps": 0},
+            {"scale": 0.0},
+            {"scale": -1.0},
+            {"deadline_seconds": 0.0},
+            {"checkpoint_every": -1},
+        ],
+    )
+    def test_invalid_numbers_rejected(self, kwargs):
+        with pytest.raises(SupervisionError):
+            JobSpec(name="j", workload="Brunel", **kwargs)
+
+    def test_malformed_payload_is_a_supervision_error(self):
+        with pytest.raises(SupervisionError, match="malformed"):
+            JobSpec.from_payload({"name": "j", "bogus_key": 1})
+
+
+class TestFailureTaxonomy:
+    def test_taxonomy_is_closed(self):
+        assert FAILURE_KINDS == ("timeout", "crash", "numerics", "oom-like")
+
+
+class TestReports:
+    def _job(self, name="j", outcome="completed", attempts=1):
+        report = JobReport(
+            name=name, workload="Brunel", backend="reference", outcome=outcome
+        )
+        for index in range(attempts):
+            report.attempts.append(
+                AttemptReport(attempt=index, outcome="crash")
+            )
+        return report
+
+    def test_retries_counts_attempts_beyond_first(self):
+        assert self._job(attempts=1).retries == 0
+        assert self._job(attempts=3).retries == 2
+
+    def test_sweep_report_partitions_jobs(self):
+        sweep = SweepReport(
+            jobs=[
+                self._job("a", outcome="completed"),
+                self._job("b", outcome="failed"),
+            ]
+        )
+        assert [j.name for j in sweep.completed] == ["a"]
+        assert [j.name for j in sweep.failed] == ["b"]
+        assert not sweep.all_completed()
+        assert sweep.job("b").name == "b"
+        with pytest.raises(SupervisionError, match="no job named"):
+            sweep.job("zzz")
+
+    def test_sweep_to_dict_schema(self):
+        payload = SweepReport(jobs=[self._job()], wall_seconds=1.5).to_dict()
+        assert payload["schema"] == "repro-sweep/1"
+        assert payload["completed"] == 1
+        assert payload["failed"] == 0
+        assert payload["jobs"][0]["name"] == "j"
+        assert payload["jobs"][0]["retries"] == 0
+
+    def test_trace_json_wraps_events(self):
+        sweep = SweepReport(jobs=[], trace_events=[{"ph": "X"}])
+        document = sweep.trace_json()
+        assert document["traceEvents"] == [{"ph": "X"}]

@@ -1,0 +1,218 @@
+"""Tests for the supervisor: isolation, watchdog, retry, recovery.
+
+These tests spawn real worker processes; workloads are kept tiny
+(Nowotny et al. at scale 0.05 — a few hundred neurons) so each spawn
+costs well under a second. The ``chaos_*`` fields of :class:`JobSpec`
+make workers sabotage themselves, which is how every failure mode is
+exercised deterministically.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import SupervisionError
+from repro.supervision import (
+    JobSpec,
+    RetryPolicy,
+    Supervisor,
+    run_job_inline,
+)
+
+#: Fast backoff so retry tests don't sleep for real.
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay=0.01, jitter=0.0)
+
+
+def make_job(name="job", **overrides):
+    base = dict(
+        workload="Nowotny et al.",
+        backend="reference",
+        steps=150,
+        scale=0.05,
+        seed=3,
+    )
+    base.update(overrides)
+    return JobSpec(name=name, **base)
+
+
+def make_supervisor(**overrides):
+    base = dict(retry=FAST_RETRY, checkpoint_every=40, deadline_seconds=90.0)
+    base.update(overrides)
+    return Supervisor(**base)
+
+
+@pytest.fixture(scope="module")
+def inline_baseline():
+    """The uninterrupted in-process run every digest compares against."""
+    return run_job_inline(make_job())
+
+
+class TestHappyPath:
+    def test_completes_and_matches_inline_run(self, inline_baseline):
+        report = make_supervisor().run([make_job()])
+        job = report.jobs[0]
+        assert job.completed
+        assert len(job.attempts) == 1
+        assert job.steps == 150
+        assert job.total_spikes == inline_baseline["total_spikes"]
+        assert job.total_spikes > 0
+        assert job.spike_digest == inline_baseline["spike_digest"]
+        assert job.stats["schema"] == "repro-run-stats/1"
+        assert job.profile["name"] == "Nowotny et al."
+        assert report.all_completed()
+
+    def test_metrics_published(self):
+        report = make_supervisor().run([make_job()])
+        assert report.metrics["supervisor_jobs_completed"]["values"][0][
+            "value"
+        ] == 1
+
+    def test_trace_has_span_and_track_metadata(self):
+        report = make_supervisor().run([make_job(name="traced")])
+        names = [event.get("name") for event in report.trace_events]
+        assert "traced #0" in names
+        assert "thread_name" in names
+        span = next(
+            e for e in report.trace_events if e.get("name") == "traced #0"
+        )
+        assert span["args"]["outcome"] == "completed"
+        assert span["dur"] > 0
+
+
+class TestCrashRecovery:
+    def test_killed_worker_resumes_bit_identically(self, inline_baseline):
+        report = make_supervisor().run(
+            [make_job(chaos_kill_at_step=100)]
+        )
+        job = report.jobs[0]
+        assert [a.outcome for a in job.attempts] == ["oom-like", "completed"]
+        # The retry resumed from the last checkpoint, not step 0.
+        assert job.attempts[1].resumed_from_step == 80
+        assert job.spike_digest == inline_baseline["spike_digest"]
+        assert job.retries == 1
+
+    def test_crash_is_classified_and_retried(self, inline_baseline):
+        report = make_supervisor().run(
+            [make_job(chaos_crash_at_step=60)]
+        )
+        job = report.jobs[0]
+        assert job.completed
+        assert job.attempts[0].outcome == "crash"
+        assert "chaos crash" in job.attempts[0].error
+        assert job.spike_digest == inline_baseline["spike_digest"]
+
+    def test_without_checkpointing_retry_restarts_from_zero(
+        self, inline_baseline
+    ):
+        report = make_supervisor(checkpoint_every=0).run(
+            [make_job(chaos_kill_at_step=100)]
+        )
+        job = report.jobs[0]
+        assert job.completed
+        assert job.attempts[1].resumed_from_step == 0
+        assert job.spike_digest == inline_baseline["spike_digest"]
+
+    def test_named_checkpoint_dir_keeps_checkpoints(self, tmp_path):
+        supervisor = make_supervisor(
+            checkpoint_dir=str(tmp_path), checkpoint_every=40
+        )
+        report = supervisor.run([make_job(name="keep me")])
+        assert report.all_completed()
+        assert os.path.exists(tmp_path / "keep-me.ckpt")
+
+
+class TestWatchdog:
+    def test_stalled_worker_is_killed_as_timeout(self):
+        supervisor = make_supervisor(
+            retry=RetryPolicy(max_retries=0),
+            heartbeat_timeout=1.0,
+        )
+        report = supervisor.run(
+            [make_job(steps=60, chaos_stall_at_step=20)]
+        )
+        job = report.jobs[0]
+        assert not job.completed
+        assert job.failure_kind == "timeout"
+        assert "stalled" in job.attempts[0].error
+        kills = report.metrics["supervisor_worker_kills_total"]["values"]
+        assert kills[0]["labels"] == {"reason": "heartbeat"}
+        failed = report.metrics["supervisor_jobs_failed"]["values"]
+        assert failed[0]["value"] == 1
+
+    def test_deadline_is_enforced(self):
+        supervisor = make_supervisor(
+            retry=RetryPolicy(max_retries=0),
+            heartbeat_timeout=60.0,
+        )
+        report = supervisor.run(
+            [
+                make_job(
+                    steps=60, chaos_stall_at_step=20, deadline_seconds=0.8
+                )
+            ]
+        )
+        job = report.jobs[0]
+        assert job.failure_kind == "timeout"
+        assert "deadline" in job.attempts[0].error
+        kills = report.metrics["supervisor_worker_kills_total"]["values"]
+        assert kills[0]["labels"] == {"reason": "deadline"}
+
+
+class TestCircuitBreaker:
+    def test_numerics_failures_degrade_to_solver_backend(
+        self, inline_baseline
+    ):
+        supervisor = make_supervisor(breaker_threshold=1)
+        report = supervisor.run([make_job(chaos_nan_at_step=30)])
+        job = report.jobs[0]
+        assert job.completed
+        assert job.degraded
+        assert job.attempts[0].outcome == "numerics"
+        assert job.attempts[0].backend == "reference"
+        assert job.attempts[1].backend == "solver"
+        # The solver path is spike-identical to the compiled engine.
+        assert job.spike_digest == inline_baseline["spike_digest"]
+        assert supervisor.breaker_tripped("reference")
+        trips = report.metrics["supervisor_breaker_trips_total"]["values"]
+        assert trips[0]["labels"] == {"backend": "reference"}
+
+    def test_breaker_threshold_requires_repeated_failures(self):
+        supervisor = make_supervisor(breaker_threshold=2)
+        supervisor._record_numerics_failure("reference")
+        assert not supervisor.breaker_tripped("reference")
+        supervisor._record_numerics_failure("reference")
+        assert supervisor.breaker_tripped("reference")
+        assert not supervisor.breaker_tripped("folded")
+
+
+class TestConcurrency:
+    def test_parallel_jobs_complete_in_input_order(self, inline_baseline):
+        jobs = [make_job(name="first"), make_job(name="second", seed=3)]
+        report = make_supervisor(workers=2).run(jobs)
+        assert [job.name for job in report.jobs] == ["first", "second"]
+        assert report.all_completed()
+        assert report.jobs[0].spike_digest == inline_baseline["spike_digest"]
+
+
+class TestValidation:
+    def test_empty_job_list_rejected(self):
+        with pytest.raises(SupervisionError, match="no jobs"):
+            make_supervisor().run([])
+
+    def test_duplicate_job_names_rejected(self):
+        with pytest.raises(SupervisionError, match="duplicate"):
+            make_supervisor().run([make_job("a"), make_job("a")])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"deadline_seconds": 0},
+            {"heartbeat_timeout": 0},
+            {"checkpoint_every": -1},
+            {"breaker_threshold": 0},
+        ],
+    )
+    def test_invalid_supervisor_configs_rejected(self, kwargs):
+        with pytest.raises(SupervisionError):
+            Supervisor(**kwargs)

@@ -1,0 +1,70 @@
+"""Tests for the shared atomic write-then-rename helpers."""
+
+import json
+import os
+
+import pytest
+
+from repro.io import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+)
+
+
+class TestAtomicWriter:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.bin"
+        with atomic_writer(path) as handle:
+            handle.write(b"payload")
+        assert path.read_bytes() == b"payload"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_failure_preserves_previous_contents(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("good")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path, "w") as handle:
+                handle.write("half-writ")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "good"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "one")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path, "w"):
+                raise RuntimeError
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_read_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="write mode"):
+            with atomic_writer(tmp_path / "x", "rb"):
+                pass  # pragma: no cover
+
+
+class TestOneShotHelpers:
+    def test_bytes(self, tmp_path):
+        path = tmp_path / "b.bin"
+        atomic_write_bytes(path, b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_json_round_trips_with_trailing_newline(self, tmp_path):
+        path = tmp_path / "d.json"
+        payload = {"schema": "x/1", "values": [1, 2, 3]}
+        atomic_write_json(path, payload)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == payload
+
+    def test_accepts_string_paths(self, tmp_path):
+        path = str(tmp_path / "s.txt")
+        atomic_write_text(path, "via str path")
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == "via str path"
