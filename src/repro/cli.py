@@ -42,6 +42,21 @@ Subcommands:
     and simulate it on the backend the spec names.
 ``example-spec``
     Print a ready-to-run front-end specification.
+``serve [WORKLOAD]``
+    Run a workload with the live observability plane attached and keep
+    serving ``/metrics``, ``/healthz``, ``/readyz``, ``/status`` and
+    the ``/events`` SSE stream until interrupted. The same plane
+    attaches to ``repro run`` / ``repro sweep`` via ``--serve SPEC``
+    (``PORT``, ``:PORT`` or ``HOST:PORT``; port 0 picks an ephemeral
+    port, written to ``--serve-port-file`` for scripts).
+``top URL``
+    Live console dashboard of a serving run or sweep (polls
+    ``/status``); ``--once`` prints a single frame.
+``bench``
+    Measure steps/sec per workload, append a ``repro-bench/1`` record
+    to ``BENCH_history.jsonl``, and with ``--compare`` exit non-zero
+    when throughput regressed more than the threshold against the best
+    prior record (seeded from the committed ``BENCH_engine.json``).
 """
 
 from __future__ import annotations
@@ -105,6 +120,104 @@ def _cmd_microcode(args) -> int:
     )
     print(f"weight pre-scale: {compiled.weight_scale:g}")
     return 0
+
+
+def _start_plane(
+    bind: str, port_file, metrics, status, bus,
+    health_check=None, ready_check=None,
+):
+    """Start the observability HTTP plane behind a ``--serve`` flag."""
+    from repro.io import atomic_write_text
+    from repro.observability import ObservabilityServer, parse_serve_spec
+
+    host, port = parse_serve_spec(bind)
+
+    def metrics_text() -> str:
+        # The registry is mutated by the run/supervisor threads without
+        # a lock shared with the HTTP threads; retry the (rare, benign)
+        # dict-resized-during-iteration race instead of locking the hot
+        # path.
+        for _ in range(5):
+            try:
+                return metrics.to_prometheus()
+            except RuntimeError:
+                continue
+        return ""
+
+    server = ObservabilityServer(
+        metrics_text=metrics_text,
+        status=status,
+        bus=bus,
+        health_check=health_check,
+        ready_check=ready_check,
+        host=host,
+        port=port,
+    )
+    server.start()
+    if port_file:
+        atomic_write_text(port_file, f"{server.port}\n")
+    print(
+        f"observability plane at {server.url} "
+        f"(/metrics /healthz /readyz /status /events)"
+    )
+    return server
+
+
+def _linger_plane(server, bus, linger: Optional[float]) -> None:
+    """Keep the plane serving after the work, then stop it.
+
+    ``linger=None`` serves until Ctrl-C; ``linger=N`` serves N more
+    seconds; 0 stops immediately. While lingering, a 1 Hz ``tick``
+    event flows on the bus so SSE clients (and the CI smoke) always
+    observe live frames, even when they connect after the run ended.
+    """
+    import time
+
+    if server is None:
+        return
+    try:
+        if linger is not None and linger <= 0:
+            return
+        print(
+            "serving until Ctrl-C"
+            if linger is None
+            else f"serving for another {linger:g}s (Ctrl-C to stop)"
+        )
+        deadline = None if linger is None else time.monotonic() + linger
+        while deadline is None or time.monotonic() < deadline:
+            if bus is not None:
+                bus.publish("tick", {})
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nstopping")
+    finally:
+        server.stop()
+
+
+def _runtime_health_check(simulator, status):
+    """Probe callables for a single simulated run's /healthz and /readyz."""
+
+    def health_check():
+        for name, runtime in getattr(
+            simulator.backend, "runtimes", {}
+        ).items():
+            bad = runtime.health()
+            if bad is not None:
+                variable, indices = bad
+                return False, (
+                    f"population {name!r}: {variable} non-finite or "
+                    f"divergent in {len(indices)} neuron(s)"
+                )
+        return True, ""
+
+    def ready_check():
+        state = status.snapshot().get("state")
+        return (
+            state in ("running", "finished"),
+            f"run state is {state!r}",
+        )
+
+    return health_check, ready_check
 
 
 def _cmd_run(args) -> int:
@@ -173,10 +286,22 @@ def _cmd_run(args) -> int:
         )
         hooks.append(trace)
     metrics = None
-    if args.stats_json or args.prometheus:
+    if args.stats_json or args.prometheus or args.serve:
         from repro.telemetry import MetricsRegistry
 
         metrics = MetricsRegistry()
+    server = bus = None
+    if args.serve:
+        from repro.observability import EventBus, ServeHook, StatusBoard
+
+        status = StatusBoard(state="starting")
+        bus = EventBus()
+        hooks.append(ServeHook(status, bus, metrics=metrics))
+        health_check, ready_check = _runtime_health_check(simulator, status)
+        server = _start_plane(
+            args.serve, args.serve_port_file, metrics, status, bus,
+            health_check, ready_check,
+        )
     interrupt = InterruptHook(simulator, checkpoint_path=args.checkpoint_path)
     hooks.append(interrupt)
     try:
@@ -198,6 +323,8 @@ def _cmd_run(args) -> int:
         if args.stats_json and interrupt.partial_stats is not None:
             atomic_write_json(args.stats_json, interrupt.partial_stats)
             print(f"wrote partial run statistics {args.stats_json!r}")
+        if server is not None:
+            server.stop()
         return EXIT_CODES.get(stop.signal_name, 130)
     duration = simulator.current_step * args.dt
     rate = result.total_spikes() / max(1, network.n_neurons) / duration
@@ -226,6 +353,7 @@ def _cmd_run(args) -> int:
     if args.prometheus:
         atomic_write_text(args.prometheus, metrics.to_prometheus())
         print(f"wrote Prometheus metrics {args.prometheus!r}")
+    _linger_plane(server, bus, args.serve_linger)
     return 0
 
 
@@ -252,6 +380,15 @@ def _cmd_sweep(args) -> int:
         )
         for name in names
     ]
+    status = bus = server = None
+    metrics = None
+    if args.serve:
+        from repro.observability import EventBus, StatusBoard
+        from repro.telemetry import MetricsRegistry
+
+        status = StatusBoard(state="starting")
+        bus = EventBus()
+        metrics = MetricsRegistry()
     supervisor = Supervisor(
         workers=args.workers,
         retry=RetryPolicy(
@@ -262,7 +399,37 @@ def _cmd_sweep(args) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
         seed=args.seed,
+        metrics=metrics,
+        status_board=status,
+        event_bus=bus,
     )
+    if args.serve:
+        from repro.supervision.job import JOB_BACKENDS
+
+        def health_check():
+            tripped = [
+                backend for backend in JOB_BACKENDS
+                if supervisor.breaker_tripped(backend)
+            ]
+            if tripped:
+                return False, (
+                    "numerics circuit breaker open for backend(s): "
+                    + ", ".join(tripped)
+                )
+            return True, ""
+
+        def ready_check():
+            state = status.snapshot().get("state")
+            return (
+                state in ("running", "finished"),
+                f"sweep state is {state!r}",
+            )
+
+        server = _start_plane(
+            args.serve, args.serve_port_file, metrics, status, bus,
+            health_check, ready_check,
+        )
+    print(f"sweep run ID: {supervisor.run_id}")
     print(
         f"supervising {len(jobs)} job(s) on backend {args.backend!r}: "
         f"deadline {args.deadline:g}s, heartbeat timeout "
@@ -317,6 +484,13 @@ def _cmd_sweep(args) -> int:
             f"wrote worker-lifetime trace {args.trace!r} — load it in "
             "chrome://tracing or https://ui.perfetto.dev"
         )
+    if args.log_json:
+        atomic_write_json(args.log_json, report.log_stream())
+        print(
+            f"wrote merged log stream {args.log_json!r} "
+            f"({len(report.log_records)} records)"
+        )
+    _linger_plane(server, bus, args.serve_linger)
     return 0 if report.all_completed() else 1
 
 
@@ -451,6 +625,109 @@ def _cmd_example_spec(_args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.hardware.backend import FlexonBackend, FoldedFlexonBackend
+    from repro.network.backends import ReferenceBackend
+    from repro.network.simulator import Simulator
+    from repro.observability import EventBus, ServeHook, StatusBoard
+    from repro.telemetry import MetricsRegistry
+    from repro.workloads import build_workload, get_spec
+
+    spec = get_spec(args.workload)
+    backends = {
+        "reference": lambda: ReferenceBackend(spec.solver),
+        "flexon": lambda: FlexonBackend(args.dt),
+        "folded": lambda: FoldedFlexonBackend(args.dt),
+    }
+    network = build_workload(args.workload, scale=args.scale, seed=args.seed)
+    simulator = Simulator(
+        network, backends[args.backend](), dt=args.dt, seed=args.seed + 1
+    )
+    metrics = MetricsRegistry()
+    status = StatusBoard(state="starting")
+    bus = EventBus()
+    health_check, ready_check = _runtime_health_check(simulator, status)
+    server = _start_plane(
+        args.bind, args.port_file, metrics, status, bus,
+        health_check, ready_check,
+    )
+    print(
+        f"simulating {args.workload!r} on {simulator.backend.name} "
+        f"({network.n_neurons:,} neurons, {args.steps:,} steps) — "
+        f"watch with: repro top {server.url}"
+    )
+    try:
+        simulator.run(
+            args.steps,
+            hooks=[ServeHook(status, bus, metrics=metrics)],
+            metrics=metrics,
+        )
+    except KeyboardInterrupt:
+        print("\nrun interrupted")
+        server.stop()
+        return 130
+    _linger_plane(server, bus, args.linger)
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.observability.top import run_top
+
+    url = args.url if "://" in args.url else "http://" + args.url
+    return run_top(
+        url,
+        interval=args.interval,
+        iterations=1 if args.once else None,
+        clear=not args.no_clear,
+    )
+
+
+def _cmd_bench(args) -> int:
+    from repro.observability import bench
+
+    workloads = (
+        [name.strip() for name in args.workloads.split(",") if name.strip()]
+        if args.workloads
+        else list(bench.engine_seed_baselines(args.engine_baseline))
+        or ["Brunel", "Izhikevich"]
+    )
+    steps, scale, reps = args.steps, args.scale, args.reps
+    if args.quick:
+        steps, scale, reps = min(steps, 120), min(scale, 0.05), min(reps, 2)
+    print(
+        f"benchmarking {len(workloads)} workload(s) on {args.backend!r}: "
+        f"{steps} steps at scale {scale:g}, median of {reps}"
+    )
+    record = bench.make_record(
+        workloads, backend=args.backend, steps=steps, scale=scale,
+        seed=args.seed, reps=reps, progress=print,
+    )
+    history = bench.load_history(args.history)
+    exit_code = 0
+    if args.compare:
+        engine_seed = (
+            None
+            if args.no_engine_seed
+            else bench.engine_seed_baselines(args.engine_baseline, scale)
+        )
+        ok, lines = bench.compare_record(
+            record, history, threshold=args.threshold, engine_seed=engine_seed
+        )
+        print()
+        for line in lines:
+            print(line)
+        if not ok:
+            print(
+                f"\nFAIL: throughput regressed more than "
+                f"{100 * args.threshold:.0f}% against the best prior record"
+            )
+            exit_code = 1
+    if not args.no_append:
+        bench.append_history(args.history, record)
+        print(f"\nappended record to {args.history!r}")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -523,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write run metrics in Prometheus text exposition format",
     )
+    _add_serve_flags(run)
 
     sweep = sub.add_parser(
         "sweep",
@@ -615,6 +893,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a worker SIGKILL at STEP on each job's first "
         "attempt (exercises the kill/resume path; used by CI)",
     )
+    sweep.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="write the merged supervisor+worker structured log stream "
+        "(repro-log/1) as JSON",
+    )
+    _add_serve_flags(sweep)
 
     profile = sub.add_parser(
         "profile",
@@ -674,7 +960,155 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--steps", type=int, default=1000)
 
     sub.add_parser("example-spec", help="print a ready-to-run JSON spec")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a workload with the live observability plane attached "
+        "and keep serving until interrupted",
+    )
+    serve.add_argument(
+        "workload",
+        nargs="?",
+        default="Brunel",
+        help="Table I workload to simulate (default: Brunel)",
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="SPEC",
+        help="PORT, :PORT or HOST:PORT (port 0 = ephemeral; default)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port here once serving (for scripts)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("reference", "flexon", "folded"),
+        default="reference",
+    )
+    serve.add_argument("--scale", type=float, default=0.05)
+    serve.add_argument("--steps", type=int, default=5000)
+    serve.add_argument("--dt", type=float, default=DT)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep serving this long after the run "
+        "(default: until Ctrl-C)",
+    )
+
+    top = sub.add_parser(
+        "top", help="live console view of a serving run or sweep"
+    )
+    top.add_argument(
+        "url", help="server address (URL or HOST:PORT) printed by --serve"
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS"
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single snapshot and exit (CI/script friendly)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure steps/sec per workload, append to "
+        "BENCH_history.jsonl, and (--compare) fail on regressions",
+    )
+    bench.add_argument(
+        "--workloads",
+        default=None,
+        metavar="A,B,C",
+        help="comma-separated workload names (default: the workloads "
+        "in the committed BENCH_engine.json baseline)",
+    )
+    bench.add_argument(
+        "--backend",
+        choices=("reference", "solver", "flexon", "folded"),
+        default="reference",
+    )
+    bench.add_argument("--steps", type=int, default=400)
+    bench.add_argument("--scale", type=float, default=0.05)
+    bench.add_argument("--seed", type=int, default=5)
+    bench.add_argument("--reps", type=int, default=3)
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI preset: caps steps/scale/reps for a fast smoke bench",
+    )
+    bench.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="the append-only JSONL throughput history",
+    )
+    bench.add_argument(
+        "--engine-baseline",
+        default="BENCH_engine.json",
+        metavar="PATH",
+        help="committed engine export seeding the comparison baseline",
+    )
+    bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="exit non-zero when any workload regressed more than "
+        "--threshold vs the best prior record",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="fractional steps/sec loss that fails --compare "
+        "(default 0.15)",
+    )
+    bench.add_argument(
+        "--no-engine-seed",
+        action="store_true",
+        help="compare against history only (e.g. in CI, where the "
+        "committed baseline's host is not comparable)",
+    )
+    bench.add_argument(
+        "--no-append",
+        action="store_true",
+        help="measure and compare without recording to the history",
+    )
     return parser
+
+
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--serve",
+        default=None,
+        metavar="SPEC",
+        help="serve the live observability plane while running: PORT, "
+        ":PORT or HOST:PORT (port 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--serve-port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port here once serving (for scripts)",
+    )
+    parser.add_argument(
+        "--serve-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the plane serving this long after the work finishes",
+    )
 
 
 _COMMANDS = {
@@ -687,6 +1121,9 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "simulate": _cmd_simulate,
     "example-spec": _cmd_example_spec,
+    "serve": _cmd_serve,
+    "top": _cmd_top,
+    "bench": _cmd_bench,
 }
 
 

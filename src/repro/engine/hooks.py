@@ -76,6 +76,12 @@ class PhaseHook:
     aggregation to ``on_run_end``.
     """
 
+    #: Set False (class- or instance-level) on hooks that override
+    #: ``on_population`` but do not want the simulator to pay the
+    #: per-population clock reads (e.g. a ServeHook configured without
+    #: population spans).
+    wants_population_spans = True
+
     def on_run_start(self, network, n_steps: int) -> None:
         """Called once before the first step of a ``Simulator.run``."""
 

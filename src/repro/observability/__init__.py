@@ -1,0 +1,69 @@
+"""The observability plane: live insight into running simulations.
+
+The paper's core claim is throughput, yet until this layer every
+observation the reproduction made was post-hoc: ``MetricsRegistry``
+snapshots, trace files, and sweep reports written after the run ended.
+A long supervised sweep was a black box while it executed. This
+package turns the existing telemetry and supervision seams into a live
+serving-style plane (see DESIGN.md's "Observability plane"):
+
+* :mod:`repro.observability.server` — a dependency-free stdlib HTTP
+  server exposing ``GET /metrics`` (Prometheus text exposition),
+  ``GET /healthz`` / ``GET /readyz``, ``GET /status`` (JSON snapshot),
+  and ``GET /events`` (an SSE stream, schema ``repro-events/1``),
+  plus the :class:`~repro.observability.server.EventBus` and
+  :class:`~repro.observability.server.StatusBoard` the endpoints read;
+* :mod:`repro.observability.log` — structured JSON logging (schema
+  ``repro-log/1``) with run/job/attempt correlation IDs, threaded
+  supervisor → worker over the existing pipe wire protocol so worker
+  records aggregate into one ordered stream;
+* :mod:`repro.observability.recorder` — the crash flight recorder: a
+  bounded ring of recent events per worker, dumped into the
+  ``AttemptReport`` on timeout/crash/numerics failure (schema
+  ``repro-flight/1``);
+* :mod:`repro.observability.hooks` — :class:`ServeHook`, the
+  :class:`~repro.engine.hooks.PhaseHook` that feeds a live run's
+  progress into the status board, the event bus, and the metrics
+  registry without taxing the hot loop when idle;
+* :mod:`repro.observability.top` — the ``repro top`` console view of
+  the ``/status`` + ``/events`` feed;
+* :mod:`repro.observability.bench` — bench regression tracking:
+  ``BENCH_history.jsonl`` append + compare-against-best (``repro
+  bench --compare`` exits non-zero on a >15 % steps/sec regression).
+
+The ``top`` and ``bench`` modules pull in the workload registry and
+``urllib``, so the CLI imports them lazily rather than here.
+"""
+
+from repro.observability.hooks import ServeHook
+from repro.observability.log import (
+    LOG_SCHEMA,
+    StructuredLogger,
+    log_stream_document,
+    merge_records,
+    new_run_id,
+)
+from repro.observability.recorder import FLIGHT_SCHEMA, FlightRecorder
+from repro.observability.server import (
+    EVENTS_SCHEMA,
+    EventBus,
+    ObservabilityServer,
+    StatusBoard,
+    parse_serve_spec,
+)
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "EventBus",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "LOG_SCHEMA",
+    "ObservabilityServer",
+    "ServeHook",
+    "StatusBoard",
+    "StructuredLogger",
+    "log_stream_document",
+    "merge_records",
+    "new_run_id",
+    "parse_serve_spec",
+]

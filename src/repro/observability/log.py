@@ -1,0 +1,175 @@
+"""Structured JSON logging with run/job/attempt correlation IDs.
+
+A supervised sweep spans one supervisor and many spawned worker
+processes; with plain ``print`` their output interleaves on stderr and
+any context (which job? which attempt?) is lost the moment the process
+dies. This module gives every layer the same discipline:
+
+* a log *record* is a flat JSON-serialisable dict — ``ts`` (Unix wall
+  clock), ``seq`` (per-logger monotone tiebreaker), ``level``,
+  ``event`` (a stable machine-readable name), ``message`` (the human
+  line), plus whatever correlation context the logger was bound with
+  (``run_id``/``job``/``attempt``/``pid``) and per-call fields;
+* a :class:`StructuredLogger` is a bound context plus a list of
+  *sinks* — callables fed each record as it is made. Sinks are how
+  records travel: the worker's logger sinks into its flight recorder
+  and the supervisor pipe; the supervisor's logger sinks into the
+  sweep's shared stream and the event bus;
+* :func:`merge_records` orders records from many processes into the
+  one stream ``SweepReport.log_records`` exposes, and
+  :func:`log_stream_document` wraps it in the ``repro-log/1`` schema
+  that ``repro sweep --log-json`` writes.
+
+Wall-clock ``ts`` is the cross-process ordering key (monotonic clocks
+do not compare across processes); ``seq`` breaks ties within one
+logger, and the (``pid``, ``seq``) pair makes every record unique.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "LOG_LEVELS",
+    "LOG_SCHEMA",
+    "StructuredLogger",
+    "log_stream_document",
+    "merge_records",
+    "new_run_id",
+]
+
+LOG_SCHEMA = "repro-log/1"
+
+#: Severity order, least to most severe.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {level: rank for rank, level in enumerate(LOG_LEVELS)}
+
+
+def new_run_id() -> str:
+    """A fresh correlation ID for one run or sweep (``run-`` + 12 hex)."""
+    return "run-" + uuid.uuid4().hex[:12]
+
+
+class StructuredLogger:
+    """A bound logging context fanning records out to sinks.
+
+    Sinks must never make logging fail: a sink that raises is dropped
+    for the rest of the logger's life (mirroring the simulator's
+    hook-isolation semantics) rather than taking the run down with it.
+    """
+
+    def __init__(
+        self,
+        context: Optional[Dict[str, object]] = None,
+        sinks: Sequence[Callable[[dict], None]] = (),
+        level: str = "debug",
+        _seq_start: int = 0,
+    ) -> None:
+        if level not in _LEVEL_RANK:
+            raise ValueError(
+                f"unknown log level {level!r} (choose from {LOG_LEVELS})"
+            )
+        self.context: Dict[str, object] = dict(context or {})
+        self.context.setdefault("pid", os.getpid())
+        self._sinks: List[Callable[[dict], None]] = list(sinks)
+        self._min_rank = _LEVEL_RANK[level]
+        self._seq = _seq_start
+
+    # -- sinks -------------------------------------------------------------
+
+    def add_sink(self, sink: Callable[[dict], None]) -> None:
+        self._sinks.append(sink)
+
+    # -- record creation ---------------------------------------------------
+
+    def log(self, level: str, event: str, message: str = "", **fields) -> Optional[dict]:
+        """Make one record and feed it to every sink; returns the record.
+
+        Returns ``None`` (and does nothing) when ``level`` is below the
+        logger's threshold.
+        """
+        rank = _LEVEL_RANK.get(level)
+        if rank is None:
+            raise ValueError(
+                f"unknown log level {level!r} (choose from {LOG_LEVELS})"
+            )
+        if rank < self._min_rank:
+            return None
+        record: Dict[str, object] = {
+            "ts": time.time(),
+            "seq": self._seq,
+            "level": level,
+            "event": event,
+            "message": message,
+        }
+        self._seq += 1
+        record.update(self.context)
+        record.update(fields)
+        for sink in list(self._sinks):
+            try:
+                sink(record)
+            except Exception:
+                self._sinks.remove(sink)
+        return record
+
+    def debug(self, event: str, message: str = "", **fields) -> Optional[dict]:
+        return self.log("debug", event, message, **fields)
+
+    def info(self, event: str, message: str = "", **fields) -> Optional[dict]:
+        return self.log("info", event, message, **fields)
+
+    def warning(self, event: str, message: str = "", **fields) -> Optional[dict]:
+        return self.log("warning", event, message, **fields)
+
+    def error(self, event: str, message: str = "", **fields) -> Optional[dict]:
+        return self.log("error", event, message, **fields)
+
+    def child(self, **context) -> "StructuredLogger":
+        """A logger with extra bound context sharing this one's sinks.
+
+        The child continues the parent's ``seq`` numbering start so two
+        same-``ts`` records from one process still order sensibly, but
+        each logger advances its own counter thereafter.
+        """
+        merged = dict(self.context)
+        merged.update(context)
+        return StructuredLogger(
+            merged,
+            sinks=self._sinks,
+            level=LOG_LEVELS[self._min_rank],
+            _seq_start=self._seq,
+        )
+
+
+def merge_records(*streams: Iterable[dict]) -> List[dict]:
+    """Order records from many processes into one stream.
+
+    Sorted by (``ts``, ``pid``, ``seq``): wall clock first (the only
+    clock that compares across processes), then a stable per-process
+    tiebreak — the sort is deterministic for any fixed input set.
+    """
+    merged: List[dict] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(
+        key=lambda r: (r.get("ts", 0.0), r.get("pid", 0), r.get("seq", 0))
+    )
+    return merged
+
+
+def log_stream_document(
+    records: Sequence[dict], run_id: str = ""
+) -> dict:
+    """The ``repro-log/1`` document ``repro sweep --log-json`` writes."""
+    document = {
+        "schema": LOG_SCHEMA,
+        "n_records": len(records),
+        "records": list(records),
+    }
+    if run_id:
+        document["run_id"] = run_id
+    return document

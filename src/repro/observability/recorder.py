@@ -1,0 +1,144 @@
+"""The crash flight recorder: a worker's last moments, post-mortem.
+
+When a supervised worker dies — watchdog SIGKILL, kernel OOM kill, an
+uncaught crash — its in-memory history dies with it, and today's
+post-mortem is "re-run with more logging and hope it reproduces". The
+flight recorder fixes that the way avionics does: a bounded ring of the
+most recent events (log records, heartbeats, checkpoints, chaos
+triggers) that survives the crash.
+
+Two exit paths, because not every failure lets the worker speak:
+
+* failures the worker catches (numerics, ``MemoryError``, a crash in
+  its own code) ship the dump over the pipe inside the ``failed``
+  message;
+* failures it cannot catch (SIGKILL, a hard hang) are covered by the
+  *sidecar*: the worker atomically rewrites its ring to a per-attempt
+  file (``repro.io`` write-then-rename, throttled by wall clock), and
+  the supervisor reads the sidecar back when the pipe never delivered
+  a terminal message.
+
+Either way the dump lands on ``AttemptReport.flight_recorder`` with
+the run/job/attempt correlation IDs baked into every event, so a sweep
+report alone is enough to reconstruct what the worker was doing when
+it died.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.io import atomic_write_json
+
+__all__ = ["FLIGHT_SCHEMA", "FlightRecorder"]
+
+FLIGHT_SCHEMA = "repro-flight/1"
+
+#: Default ring capacity: enough for ~20 s of 0.1 s-cadence heartbeats
+#: plus the lifecycle/log events around them, small enough that the
+#: sidecar rewrite stays a sub-millisecond JSON dump.
+DEFAULT_CAPACITY = 256
+
+#: Default minimum seconds between sidecar rewrites.
+DEFAULT_SYNC_INTERVAL = 1.0
+
+
+class FlightRecorder:
+    """Bounded ring of recent events with an atomic sidecar dump."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        context: Optional[Dict[str, object]] = None,
+        sidecar_path: Optional[str] = None,
+        sync_interval: float = DEFAULT_SYNC_INTERVAL,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.context: Dict[str, object] = dict(context or {})
+        self.sidecar_path = sidecar_path
+        self.sync_interval = sync_interval
+        self._events: Deque[dict] = deque(maxlen=capacity)
+        self._total = 0
+        self._last_sync = 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, kind: str, **fields) -> dict:
+        """Append one event (stamped with ``ts`` and the bound context)."""
+        event: Dict[str, object] = {"ts": time.time(), "kind": kind}
+        event.update(self.context)
+        event.update(fields)
+        self._events.append(event)
+        self._total += 1
+        return event
+
+    def observe_log(self, record: dict) -> None:
+        """A log sink: mirror a structured log record into the ring."""
+        event = dict(record)
+        event["kind"] = "log"
+        self._events.append(event)
+        self._total += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def recorded_total(self) -> int:
+        """Events ever recorded, including ones the ring evicted."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        return self._total - len(self._events)
+
+    def dump(self) -> dict:
+        """The ring as a ``repro-flight/1`` document (oldest first)."""
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "capacity": self.capacity,
+            "recorded_total": self._total,
+            "dropped": self.dropped,
+            "context": dict(self.context),
+            "events": list(self._events),
+        }
+
+    # -- the sidecar -------------------------------------------------------
+
+    def sync(self, force: bool = False) -> bool:
+        """Atomically rewrite the sidecar; throttled unless ``force``.
+
+        Returns whether a write happened. A recorder without a sidecar
+        path never writes (the in-pipe dump is then the only exit).
+        """
+        if self.sidecar_path is None:
+            return False
+        now = time.monotonic()
+        if not force and now - self._last_sync < self.sync_interval:
+            return False
+        self._last_sync = now
+        atomic_write_json(self.sidecar_path, self.dump())
+        return True
+
+    @staticmethod
+    def load_dump(path: str) -> Optional[dict]:
+        """Read a sidecar dump back; ``None`` if missing or unparsable.
+
+        The sidecar is written atomically so a partial file should be
+        impossible, but a post-mortem reader must never crash on the
+        artifact it is reading — any defect reads as "no dump".
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                dump = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(dump, dict) or dump.get("schema") != FLIGHT_SCHEMA:
+            return None
+        return dump

@@ -149,6 +149,17 @@ class AttemptReport:
     wall_seconds: float = 0.0
     #: Largest gap observed between progress signals.
     max_heartbeat_lag: float = 0.0
+    #: The sweep's correlation ID (shared by every log/flight event).
+    run_id: str = ""
+    #: The worker's ``repro-flight/1`` crash flight-recorder dump —
+    #: shipped in the ``failed`` pipe message when the worker could
+    #: still speak, recovered from its sidecar file when it could not
+    #: (SIGKILL, hard hang). ``None`` on success.
+    flight_recorder: Optional[dict] = None
+    #: Tail of the worker's captured stdout/stderr — the post-mortem
+    #: trail (e.g. the traceback) of a worker that died before sending
+    #: a ``failed`` message. Empty on success.
+    output_tail: str = ""
 
 
 @dataclass
@@ -200,6 +211,13 @@ class SweepReport:
     metrics: Optional[dict] = None
     #: Worker-lifetime spans in Trace Event JSON (Perfetto-loadable).
     trace_events: List[dict] = field(default_factory=list)
+    #: The sweep's correlation ID (every log/flight record carries it).
+    run_id: str = ""
+    #: One ordered stream (``repro-log/1`` records) merging the
+    #: supervisor's and every worker's structured logs — worker records
+    #: travel over the pipe wire protocol instead of vanishing into
+    #: subprocess stderr.
+    log_records: List[dict] = field(default_factory=list)
 
     @property
     def completed(self) -> List[JobReport]:
@@ -221,12 +239,21 @@ class SweepReport:
     def to_dict(self) -> dict:
         return {
             "schema": "repro-sweep/1",
+            "run_id": self.run_id,
             "jobs": [job.to_dict() for job in self.jobs],
             "completed": len(self.completed),
             "failed": len(self.failed),
             "wall_seconds": self.wall_seconds,
             "metrics": self.metrics,
+            "n_log_records": len(self.log_records),
         }
+
+    def log_stream(self) -> dict:
+        """The merged log stream as a ``repro-log/1`` document
+        (what ``repro sweep --log-json`` writes via ``repro.io``)."""
+        from repro.observability.log import log_stream_document
+
+        return log_stream_document(self.log_records, run_id=self.run_id)
 
     def trace_json(self) -> dict:
         """The worker-lifetime spans as a Trace Event JSON document."""

@@ -33,6 +33,19 @@ Observability rides on the telemetry layer: the supervisor publishes
 heartbeat-lag histogram into its :class:`~repro.telemetry.registry.
 MetricsRegistry`, and records one Trace Event span per worker lifetime
 (Perfetto-loadable via ``repro sweep --trace``).
+
+The live observability plane threads through here too. Every sweep
+carries a ``run_id`` correlation ID into each worker; workers send
+structured ``repro-log/1`` records back over the pipe (merged into
+``SweepReport.log_records``) and keep a crash flight recorder whose
+dump reaches the :class:`~repro.supervision.job.AttemptReport` either
+in the ``failed`` pipe message or — for SIGKILL/hard-hang deaths — via
+an atomically-synced sidecar file the supervisor reads back. Worker
+stdout/stderr is redirected into a capture file whose tail (the
+traceback, for crashes) lands in ``AttemptReport.output_tail``. When a
+:class:`~repro.observability.server.StatusBoard` / ``EventBus`` are
+attached (``repro sweep --serve``), per-job rows and attempt events
+stream out live.
 """
 
 from __future__ import annotations
@@ -50,6 +63,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import SupervisionError
+from repro.observability.log import StructuredLogger, merge_records, new_run_id
+from repro.observability.recorder import FlightRecorder
 from repro.supervision.backoff import RetryPolicy
 from repro.supervision.job import (
     AttemptReport,
@@ -63,6 +78,9 @@ __all__ = ["Supervisor"]
 
 #: Lag histogram buckets: 10 ms .. 30 s, tuned around heartbeat cadence.
 _LAG_BUCKETS = (0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0)
+
+#: Bytes of captured worker stdout/stderr kept in ``output_tail``.
+_OUTPUT_TAIL_BYTES = 4096
 
 
 def _checkpoint_filename(job_name: str) -> str:
@@ -96,6 +114,13 @@ class Supervisor:
     metrics:
         A :class:`~repro.telemetry.registry.MetricsRegistry` to publish
         into (one is created when omitted).
+    run_id:
+        The sweep's correlation ID, stamped on every log and flight
+        record (a fresh one is minted when omitted).
+    status_board / event_bus:
+        Optional :class:`~repro.observability.server.StatusBoard` and
+        :class:`~repro.observability.server.EventBus` to publish live
+        per-job state and attempt events into (``--serve``).
     """
 
     def __init__(
@@ -112,6 +137,9 @@ class Supervisor:
         metrics=None,
         seed: int = 0,
         poll_interval: float = 0.05,
+        run_id: Optional[str] = None,
+        status_board=None,
+        event_bus=None,
     ) -> None:
         if workers < 1:
             raise SupervisionError(f"workers must be >= 1, got {workers}")
@@ -146,12 +174,50 @@ class Supervisor:
         self.metrics = metrics
         self.seed = seed
         self.poll_interval = poll_interval
+        self.run_id = run_id if run_id else new_run_id()
+        self.status_board = status_board
+        self.event_bus = event_bus
         self._sleep = time.sleep
         self._ctx = multiprocessing.get_context("spawn")
         self._lock = threading.Lock()
         self._numerics_failures: Dict[str, int] = {}
         self._spans: List[dict] = []
         self._sweep_start = 0.0
+        self._log_records: List[dict] = []
+        self._totals: Dict[str, int] = {}
+        self._logger = StructuredLogger(
+            {"run_id": self.run_id, "component": "supervisor"},
+            sinks=[self._sink_record],
+        )
+
+    # -- observability plumbing --------------------------------------------
+
+    def _sink_record(self, record: dict) -> None:
+        with self._lock:
+            self._log_records.append(record)
+
+    def _publish_event(self, event_type: str, payload: dict) -> None:
+        if self.event_bus is not None:
+            self.event_bus.publish(
+                event_type, dict(payload, run_id=self.run_id)
+            )
+
+    def _job_row(self, job: str, **fields) -> None:
+        """Replace one job's row on the status board (``/status`` jobs)."""
+        if self.status_board is not None:
+            self.status_board.merge("jobs", **{job: fields})
+
+    def _bump_totals(self, **deltas) -> None:
+        with self._lock:
+            for key, delta in deltas.items():
+                self._totals[key] = self._totals.get(key, 0) + delta
+            totals = dict(self._totals)
+            totals["breaker_trips"] = sum(
+                1 for count in self._numerics_failures.values()
+                if count >= self.breaker_threshold
+            )
+        if self.status_board is not None:
+            self.status_board.update(sweep_totals=totals)
 
     # -- circuit breaker ---------------------------------------------------
 
@@ -207,7 +273,27 @@ class Supervisor:
             duplicates = sorted({n for n in names if names.count(n) > 1})
             raise SupervisionError(f"duplicate job names: {duplicates}")
         self._spans = []
+        with self._lock:
+            self._log_records = []
+            self._totals = {
+                "total": len(jobs), "completed": 0, "failed": 0, "retries": 0,
+            }
         self._sweep_start = time.monotonic()
+        if self.status_board is not None:
+            self.status_board.update(
+                state="running",
+                sweep=f"{len(jobs)} job(s)",
+                run_id=self.run_id,
+                jobs={},
+            )
+        self._bump_totals()
+        self._publish_event("sweep-start", {"n_jobs": len(jobs)})
+        self._logger.info(
+            "sweep-start",
+            f"supervising {len(jobs)} job(s) with {self.workers} worker(s)",
+            n_jobs=len(jobs),
+            workers=self.workers,
+        )
         if self.checkpoint_dir is not None:
             os.makedirs(self.checkpoint_dir, exist_ok=True)
             reports = self._run_all(jobs, self.checkpoint_dir)
@@ -215,13 +301,31 @@ class Supervisor:
             with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
                 reports = self._run_all(jobs, tmp)
         wall = time.monotonic() - self._sweep_start
+        n_failed = sum(1 for report in reports if not report.completed)
+        self._logger.info(
+            "sweep-end",
+            f"{len(reports) - n_failed}/{len(reports)} job(s) completed "
+            f"in {wall:.1f}s",
+            completed=len(reports) - n_failed,
+            failed=n_failed,
+            wall_seconds=wall,
+        )
+        self._publish_event(
+            "sweep-end",
+            {"completed": len(reports) - n_failed, "failed": n_failed},
+        )
+        if self.status_board is not None:
+            self.status_board.update(state="finished")
         with self._lock:
             snapshot = self.metrics.snapshot()
+            records = merge_records(self._log_records)
         return SweepReport(
             jobs=reports,
             wall_seconds=wall,
             metrics=snapshot,
             trace_events=self._trace_events(jobs),
+            run_id=self.run_id,
+            log_records=records,
         )
 
     def _run_all(self, jobs: List[JobSpec], ckpt_dir: str) -> List[JobReport]:
@@ -271,6 +375,10 @@ class Supervisor:
                 except OSError:
                     pass
             backend = "solver" if degraded else spec.backend
+            self._job_row(
+                spec.name, state="running", backend=backend,
+                attempt=attempt, step=0, retries=attempt,
+            )
             attempt_report, done = self._run_attempt(
                 spec, backend, attempt, degraded,
                 checkpoint_path, checkpoint_every,
@@ -288,6 +396,14 @@ class Supervisor:
                 report.profile = done["profile"]
                 break
             report.failure_kind = attempt_report.outcome
+            self._logger.warning(
+                "attempt-failed",
+                f"{spec.name!r} attempt {attempt} failed "
+                f"({attempt_report.outcome}): {attempt_report.error}",
+                job=spec.name,
+                attempt=attempt,
+                kind=attempt_report.outcome,
+            )
             if attempt_report.outcome == "numerics":
                 self._record_numerics_failure(backend)
             if attempt < self.retry.max_retries:
@@ -296,6 +412,7 @@ class Supervisor:
                     "Supervised job attempts retried after a failure.",
                     {"job": spec.name},
                 )
+                self._bump_totals(retries=1)
                 self._sleep(self.retry.delay(attempt, jitter_rng))
         report.wall_seconds = time.monotonic() - job_start
         if report.completed:
@@ -303,11 +420,30 @@ class Supervisor:
                 "supervisor_jobs_completed",
                 "Supervised jobs that finished successfully.",
             )
+            self._bump_totals(completed=1)
         else:
             self._inc(
                 "supervisor_jobs_failed",
                 "Supervised jobs that exhausted their retry budget.",
             )
+            self._bump_totals(failed=1)
+        self._job_row(
+            spec.name,
+            state=report.outcome,
+            backend=report.attempts[-1].backend if report.attempts else "?",
+            attempt=len(report.attempts) - 1,
+            step=report.steps,
+            retries=report.retries,
+        )
+        self._publish_event(
+            "job-end",
+            {
+                "job": spec.name,
+                "outcome": report.outcome,
+                "failure_kind": report.failure_kind,
+                "retries": report.retries,
+            },
+        )
         return report
 
     # -- one attempt: spawn, watch, classify -------------------------------
@@ -323,6 +459,13 @@ class Supervisor:
     ) -> Tuple[AttemptReport, Optional[dict]]:
         spec_payload = spec.to_payload()
         spec_payload["backend"] = backend
+        # Post-mortem sidecars, next to the job's checkpoint: the worker
+        # fd-redirects stdout/stderr into the capture file and syncs its
+        # flight recorder into the flight file, so even a SIGKILLed
+        # worker leaves a trail the supervisor can read back.
+        attempt_base = f"{checkpoint_path}.a{attempt}"
+        capture_path = attempt_base + ".out"
+        flight_path = attempt_base + ".flight.json"
         payload = {
             "spec": spec_payload,
             "attempt": attempt,
@@ -330,10 +473,16 @@ class Supervisor:
             "checkpoint_path": checkpoint_path,
             "checkpoint_every": checkpoint_every,
             "heartbeat_interval": self.heartbeat_interval,
+            "run_id": self.run_id,
+            "flight_path": flight_path,
         }
+        self._publish_event(
+            "attempt-start",
+            {"job": spec.name, "attempt": attempt, "backend": backend},
+        )
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
-            target=worker_entry, args=(child_conn,), daemon=True
+            target=worker_entry, args=(child_conn, capture_path), daemon=True
         )
         start = time.monotonic()
         process.start()
@@ -371,6 +520,16 @@ class Supervisor:
                     elif kind == "heartbeat":
                         steps_completed = int(data["step"])
                         self._observe_lag(lag)
+                        self._job_row(
+                            spec.name, state="running", backend=backend,
+                            attempt=attempt, step=steps_completed,
+                            retries=attempt,
+                        )
+                    elif kind == "log":
+                        # A worker's structured log record riding the
+                        # wire protocol; merged into the sweep stream.
+                        if isinstance(data, dict):
+                            self._sink_record(data)
                     elif kind in ("done", "failed"):
                         terminal = (kind, data)
                         break
@@ -426,9 +585,67 @@ class Supervisor:
             steps_completed=steps_completed,
             wall_seconds=wall,
             max_heartbeat_lag=max_lag,
+            run_id=self.run_id,
+        )
+        if outcome != "completed":
+            attempt_report.flight_recorder = self._recover_flight(
+                terminal, flight_path
+            )
+            attempt_report.output_tail = self._read_output_tail(
+                terminal, capture_path
+            )
+        for leftover in (capture_path, flight_path):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+        self._publish_event(
+            "attempt-end",
+            {
+                "job": spec.name,
+                "attempt": attempt,
+                "backend": backend,
+                "outcome": outcome,
+                "steps_completed": steps_completed,
+            },
         )
         self._record_span(spec, attempt_report, start)
         return attempt_report, done_payload
+
+    @staticmethod
+    def _recover_flight(
+        terminal: Optional[Tuple[str, dict]], flight_path: str
+    ) -> Optional[dict]:
+        """The attempt's flight-recorder dump, wherever it survived.
+
+        A worker that could still speak ships the dump in its ``failed``
+        pipe message; one that was SIGKILLed or hung left only the
+        sidecar file its heartbeats synced.
+        """
+        if terminal is not None and terminal[0] == "failed":
+            dump = terminal[1].get("flight")
+            if isinstance(dump, dict):
+                return dump
+        return FlightRecorder.load_dump(flight_path)
+
+    @staticmethod
+    def _read_output_tail(
+        terminal: Optional[Tuple[str, dict]], capture_path: str
+    ) -> str:
+        """Tail of the worker's captured stdout/stderr (the traceback)."""
+        try:
+            with open(capture_path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                handle.seek(max(0, size - _OUTPUT_TAIL_BYTES))
+                tail = handle.read().decode("utf-8", errors="replace")
+        except OSError:
+            tail = ""
+        if not tail.strip() and terminal is not None:
+            # Capture disabled or empty: fall back to the traceback the
+            # worker shipped in its failed message.
+            tail = str(terminal[1].get("traceback") or "")
+        return tail
 
     def _classify(
         self,

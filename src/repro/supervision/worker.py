@@ -16,12 +16,25 @@ result travels back over the same pipe:
 ``("done", {...})``
     Final spike digest, counts, run statistics, and the measured
     per-unit activity profile.
-``("failed", {"kind": ..., "error": ..., "step": ...})``
+``("log", {...})``
+    One structured ``repro-log/1`` record (see
+    :mod:`repro.observability.log`), stamped with the sweep's
+    ``run_id`` plus the job/attempt context — the supervisor merges
+    these into the one ordered stream ``SweepReport.log_records``
+    exposes, so worker logs survive the worker.
+``("failed", {"kind": ..., "error": ..., "step": ..., "traceback":
+..., "flight": {...}})``
     A structured failure the worker caught itself: ``numerics`` from
     the :class:`~repro.reliability.guard.NumericsGuard`, ``oom-like``
-    from ``MemoryError``, ``crash`` for anything else. Failures the
-    worker *cannot* report (SIGKILL, a hard hang) are classified by
-    the supervisor from the process exit code and heartbeat record.
+    from ``MemoryError``, ``crash`` for anything else — with the full
+    traceback text and the flight-recorder dump riding along. Failures
+    the worker *cannot* report (SIGKILL, a hard hang) are classified by
+    the supervisor from the process exit code and heartbeat record; for
+    those, the flight recorder's atomically-synced *sidecar file* and
+    the captured stdout/stderr file are the post-mortem trail — the
+    worker redirects its file descriptors at entry (``capture_path``),
+    so even a traceback printed by the interpreter while dying before
+    the first pipe message is preserved.
 
 Checkpointing uses the reliability layer verbatim: a
 :class:`~repro.reliability.checkpoint.CheckpointHook` writes the job's
@@ -127,21 +140,30 @@ class _HeartbeatHook:
     Implemented against the :class:`~repro.engine.hooks.PhaseHook`
     protocol (duck-typed; it subclasses the real base at import time in
     :func:`_make_hooks` to keep this module import-light for spawn).
+
+    Each sent heartbeat is also recorded into the flight recorder and
+    the recorder's sidecar is synced (throttled by its own interval) —
+    the heartbeat cadence is what keeps the crash trail fresh.
     """
 
-    def __init__(self, conn, interval: float = HEARTBEAT_INTERVAL) -> None:
+    def __init__(self, conn, interval: float = HEARTBEAT_INTERVAL,
+                 flight=None) -> None:
         self.conn = conn
         self.interval = interval
+        self.flight = flight
         self._last = time.monotonic()
         self._broken = False
 
     def beat(self, step: int, phase: str) -> None:
-        if self._broken:
-            return
         now = time.monotonic()
         if now - self._last < self.interval:
             return
         self._last = now
+        if self.flight is not None:
+            self.flight.record("heartbeat", step=step, phase=phase)
+            self.flight.sync()
+        if self._broken:
+            return
         try:
             self.conn.send(("heartbeat", {"step": step, "phase": phase}))
         except (BrokenPipeError, OSError):
@@ -154,9 +176,10 @@ class _ChaosHook:
     """Self-sabotage at a chosen step (chaos tests / CI smoke)."""
 
     def __init__(self, spec: JobSpec, simulator, attempt: int,
-                 degraded: bool) -> None:
+                 degraded: bool, flight=None) -> None:
         self.spec = spec
         self.simulator = simulator
+        self.flight = flight
         #: Kill/stall/crash chaos applies on one attempt only.
         self.armed = attempt == spec.chaos_attempt
         #: NaN chaos applies while the job still runs its original
@@ -166,6 +189,11 @@ class _ChaosHook:
     def trigger(self, step: int) -> None:
         spec = self.spec
         if self.armed and step == spec.chaos_kill_at_step:
+            if self.flight is not None:
+                # The kill is instant; force the sidecar out first so
+                # the post-mortem sees the trigger itself.
+                self.flight.record("chaos", action="kill", step=step)
+                self.flight.sync(force=True)
             os.kill(os.getpid(), signal.SIGKILL)
         if self.armed and step == spec.chaos_stall_at_step:
             while True:  # pragma: no cover - killed by the watchdog
@@ -188,14 +216,15 @@ class _ChaosHook:
 
 def _make_hooks(spec: JobSpec, simulator, conn, attempt: int,
                 degraded: bool, checkpoint_path: Optional[str],
-                checkpoint_every: int, heartbeat_interval: float):
+                checkpoint_every: int, heartbeat_interval: float,
+                flight=None):
     """Assemble the worker's hook stack (imports deferred for spawn)."""
     from repro.engine.hooks import PhaseHook
     from repro.reliability.checkpoint import CheckpointHook
     from repro.reliability.guard import NumericsGuard
 
-    heartbeat = _HeartbeatHook(conn, heartbeat_interval)
-    chaos = _ChaosHook(spec, simulator, attempt, degraded)
+    heartbeat = _HeartbeatHook(conn, heartbeat_interval, flight=flight)
+    chaos = _ChaosHook(spec, simulator, attempt, degraded, flight=flight)
 
     class WorkerHook(PhaseHook):
         """Heartbeats + chaos, fused so the loop dispatches one hook."""
@@ -232,8 +261,39 @@ def run_job_inline(spec: JobSpec) -> Dict[str, object]:
     }
 
 
-def worker_entry(conn) -> None:
-    """Process target: receive a job over ``conn``, run it, report back."""
+def _redirect_output(capture_path: str) -> None:
+    """Point this process's stdout/stderr file descriptors at a file.
+
+    Done with ``dup2`` on fds 1 and 2 (not by rebinding ``sys.stdout``)
+    so *everything* lands in the capture file: Python tracebacks the
+    ``multiprocessing`` bootstrap prints for failures that escape
+    :func:`worker_entry`, warnings, and even C-level output. This is
+    what leaves a trail for a worker that dies before its first pipe
+    message.
+    """
+    fd = os.open(
+        capture_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+    )
+    try:
+        sys.stdout.flush()
+        sys.stderr.flush()
+        os.dup2(fd, 1)
+        os.dup2(fd, 2)
+    finally:
+        os.close(fd)
+    # Rebind the high-level streams onto the redirected descriptors
+    # with line buffering, so print() output is visible promptly.
+    sys.stdout = os.fdopen(1, "w", buffering=1, closefd=False)
+    sys.stderr = os.fdopen(2, "w", buffering=1, closefd=False)
+
+
+def worker_entry(conn, capture_path: Optional[str] = None) -> None:
+    """Process target: receive a job over ``conn``, run it, report back.
+
+    ``capture_path`` (passed as a process argument, not over the pipe,
+    so it is active before the first ``recv``) redirects the worker's
+    stdout/stderr into a file the supervisor reads back on failure.
+    """
     # The supervisor owns this process's lifecycle (it SIGKILLs on
     # deadline/stall); a terminal Ctrl-C must interrupt the supervisor,
     # not race it by killing workers directly.
@@ -241,6 +301,8 @@ def worker_entry(conn) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
+    if capture_path:
+        _redirect_output(capture_path)
     payload = conn.recv()
     spec = JobSpec.from_payload(payload["spec"])
     attempt = int(payload.get("attempt", 0))
@@ -250,9 +312,32 @@ def worker_entry(conn) -> None:
     heartbeat_interval = float(
         payload.get("heartbeat_interval", HEARTBEAT_INTERVAL)
     )
+    run_id = str(payload.get("run_id", ""))
+    flight_path = payload.get("flight_path")
 
     from repro.errors import CheckpointError, NumericsError
+    from repro.observability.log import StructuredLogger
+    from repro.observability.recorder import FlightRecorder
     from repro.reliability.checkpoint import Checkpoint
+
+    context = {"run_id": run_id, "job": spec.name, "attempt": attempt}
+    flight = FlightRecorder(
+        capacity=int(payload.get("flight_capacity", 256)),
+        context=context,
+        sidecar_path=flight_path,
+        sync_interval=float(payload.get("flight_sync_interval", 1.0)),
+    )
+
+    def pipe_sink(record: dict) -> None:
+        try:
+            conn.send(("log", record))
+        except (BrokenPipeError, OSError):
+            raise RuntimeError("pipe gone")  # logger drops this sink
+
+    log = StructuredLogger(
+        dict(context, component="worker"),
+        sinks=[flight.observe_log, pipe_sink],
+    )
 
     step = -1
     try:
@@ -265,9 +350,15 @@ def worker_entry(conn) -> None:
                 checkpoint.restore(simulator)
                 spikes = checkpoint.seed_recorder()
                 resumed_from = simulator.current_step
-            except CheckpointError:
+            except CheckpointError as error:
                 # A stale or torn-signature checkpoint must not wedge
                 # the job forever: start fresh instead.
+                log.warning(
+                    "checkpoint-rejected",
+                    f"checkpoint {checkpoint_path!r} rejected; starting "
+                    f"fresh",
+                    error=repr(error),
+                )
                 simulator, network = _build_simulator(spec)
         conn.send(
             ("started", {
@@ -276,9 +367,21 @@ def worker_entry(conn) -> None:
                 "resumed_from_step": resumed_from,
             })
         )
+        log.info(
+            "worker-started",
+            f"attempt {attempt} of {spec.name!r} on {spec.backend!r}",
+            workload=spec.workload,
+            backend=spec.backend,
+            degraded=degraded,
+            resumed_from_step=resumed_from,
+        )
+        # One guaranteed sidecar write before the run: even a worker
+        # killed on its very first step leaves a non-empty trail.
+        flight.sync(force=True)
         hooks = _make_hooks(
             spec, simulator, conn, attempt, degraded,
             checkpoint_path, checkpoint_every, heartbeat_interval,
+            flight=flight,
         )
         remaining = spec.steps - resumed_from
         if remaining < 0:
@@ -288,6 +391,12 @@ def worker_entry(conn) -> None:
             )
         result = simulator.run(remaining, hooks=hooks, spikes=spikes)
         step = simulator.current_step
+        log.info(
+            "worker-done",
+            f"{spec.name!r} completed at step {step}",
+            steps=step,
+            total_spikes=result.total_spikes(),
+        )
         conn.send(
             ("done", {
                 "steps": step,
@@ -301,22 +410,58 @@ def worker_entry(conn) -> None:
             })
         )
     except NumericsError as error:
-        _send_failure(conn, "numerics", error, getattr(error, "step", step))
+        _send_failure(
+            conn, "numerics", error, getattr(error, "step", step), flight, log
+        )
         sys.exit(1)
     except MemoryError as error:
-        _send_failure(conn, "oom-like", error, step)
+        _send_failure(conn, "oom-like", error, step, flight, log)
         sys.exit(1)
     except BaseException as error:  # noqa: BLE001 - classified, reported
-        _send_failure(conn, "crash", error, step)
+        _send_failure(conn, "crash", error, step, flight, log)
         sys.exit(1)
     finally:
         conn.close()
 
 
-def _send_failure(conn, kind: str, error: BaseException, step: int) -> None:
+def _send_failure(
+    conn, kind: str, error: BaseException, step: int, flight=None, log=None
+) -> None:
+    """Report a caught failure: traceback to stderr (the capture file),
+    a log record, a forced flight-recorder sync, and the structured
+    ``failed`` message carrying the flight dump."""
+    import traceback
+
+    traceback.print_exc(file=sys.stderr)
+    sys.stderr.flush()
+    trace_text = traceback.format_exc()
+    if log is not None:
+        log.error(
+            "worker-failed",
+            f"{kind} failure at step {step}: {error!r}",
+            kind=kind,
+            step=step,
+            error=repr(error),
+        )
+    flight_dump = None
+    if flight is not None:
+        flight.record(
+            "failure", failure_kind=kind, step=step, error=repr(error)
+        )
+        try:
+            flight.sync(force=True)
+        except OSError:  # pragma: no cover - sidecar dir gone
+            pass
+        flight_dump = flight.dump()
     try:
         conn.send(
-            ("failed", {"kind": kind, "error": repr(error), "step": step})
+            ("failed", {
+                "kind": kind,
+                "error": repr(error),
+                "step": step,
+                "traceback": trace_text,
+                "flight": flight_dump,
+            })
         )
     except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
         pass

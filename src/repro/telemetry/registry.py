@@ -64,11 +64,18 @@ _KNOWN_NAMES: set = set()
 
 
 def _check_name(name: str) -> None:
+    # The Prometheus exposition grammar: [a-zA-Z_][a-zA-Z0-9_]* — a
+    # leading digit would parse as a sample value, not a name.
     if name in _KNOWN_NAMES:
         return
-    if not name or not all(c.isalnum() or c == "_" for c in name):
+    if (
+        not name
+        or name[0].isdigit()
+        or not all(c.isalnum() or c == "_" for c in name)
+    ):
         raise ConfigurationError(
-            f"invalid metric name {name!r}: use [a-zA-Z0-9_] only"
+            f"invalid metric name {name!r}: must match "
+            f"[a-zA-Z_][a-zA-Z0-9_]*"
         )
     _KNOWN_NAMES.add(name)
 
@@ -79,12 +86,25 @@ def _labels_key(labels: Optional[Mapping[str, str]]) -> Tuple[Tuple[str, str], .
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    # Exposition format: backslash, double-quote and newline must be
+    # escaped inside label values.
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    # HELP lines are newline-delimited: a literal newline or backslash
+    # in help text must be escaped or the line after it parses as junk.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key: Tuple[Tuple[str, str], ...]) -> str:
     if not key:
         return ""
     escaped = ",".join(
-        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
-        for k, v in key
+        '{}="{}"'.format(k, _escape_label_value(v)) for k, v in key
     )
     return "{" + escaped + "}"
 
@@ -321,7 +341,7 @@ class MetricsRegistry:
         for name in sorted(self._families):
             family = self._families[name]
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key in sorted(family.children):
                 child = family.children[key]

@@ -1,0 +1,223 @@
+"""CLI-level observability: --serve endpoints, --log-json, serve/top/bench.
+
+The in-process tests (``tests/observability/``) pin each component;
+these pin the *wiring* — that the flags on ``repro run`` / ``repro
+sweep`` / ``repro serve`` actually stand up a live plane, that ``repro
+top`` can read it, and that ``repro bench --compare`` exits the way CI
+depends on.
+
+Live-server tests run the CLI in a subprocess (the plane must be up
+*while* we probe it) and discover the ephemeral port through
+``--serve-port-file`` — the same recipe as the CI smoke job.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+from repro.cli import main
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def _spawn_cli(argv, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=cwd,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _wait_for_port(port_file, process, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"CLI exited early ({process.returncode}):\n"
+                f"{process.stdout.read()}"
+            )
+        if os.path.exists(port_file):
+            content = open(port_file, encoding="utf-8").read().strip()
+            if content:
+                return int(content)
+        time.sleep(0.05)
+    raise AssertionError("port file never appeared")
+
+
+def _fetch(url, timeout=10.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def _finish(process, timeout=60.0):
+    """Interrupt a lingering CLI and return (exit_code, output)."""
+    process.send_signal(signal.SIGINT)
+    try:
+        output = process.communicate(timeout=timeout)[0]
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise
+    return process.returncode, output
+
+
+class TestServeFlag:
+    def test_run_serve_exposes_live_plane(self, tmp_path):
+        port_file = str(tmp_path / "port")
+        process = _spawn_cli(
+            [
+                "run", "Brunel", "--scale", "0.02", "--steps", "300",
+                "--backend", "reference",
+                "--serve", ":0", "--serve-port-file", port_file,
+                "--serve-linger", "120",
+            ],
+            cwd=str(tmp_path),
+        )
+        try:
+            port = _wait_for_port(port_file, process)
+            base = f"http://127.0.0.1:{port}"
+            assert _fetch(f"{base}/healthz") == "ok\n"
+            # sim_steps_total is published at collect time — wait for
+            # the run to finish (the plane keeps serving while it
+            # lingers) before scraping for it.
+            deadline = time.monotonic() + 60.0
+            status = {}
+            while time.monotonic() < deadline:
+                status = json.loads(_fetch(f"{base}/status"))
+                if status.get("state") == "finished":
+                    break
+                time.sleep(0.1)
+            assert status.get("state") == "finished", status
+            assert status["network"] == "Brunel"
+            metrics = _fetch(f"{base}/metrics")
+            assert "sim_steps_total" in metrics
+            assert "run_current_step" in metrics
+        finally:
+            code, output = _finish(process)
+        assert code == 0, output
+        assert "observability plane at" in output
+
+    def test_sweep_serve_and_log_json(self, tmp_path):
+        port_file = str(tmp_path / "port")
+        log_path = str(tmp_path / "logs.json")
+        process = _spawn_cli(
+            [
+                "sweep", "Brunel", "--backend", "reference",
+                "--scale", "0.02", "--steps", "200",
+                "--log-json", log_path,
+                "--serve", ":0", "--serve-port-file", port_file,
+                "--serve-linger", "120",
+            ],
+            cwd=str(tmp_path),
+        )
+        try:
+            port = _wait_for_port(port_file, process)
+            base = f"http://127.0.0.1:{port}"
+            _fetch(f"{base}/healthz")
+            # Poll /status until the sweep's job table fills in.
+            deadline = time.monotonic() + 60.0
+            status = {}
+            while time.monotonic() < deadline:
+                status = json.loads(_fetch(f"{base}/status"))
+                if status.get("state") == "finished":
+                    break
+                time.sleep(0.2)
+            assert status.get("state") == "finished", status
+            assert status["jobs"], "job table never populated"
+            (job,) = status["jobs"].values()
+            assert job["state"] == "completed"
+        finally:
+            code, output = _finish(process)
+        assert code == 0, output
+        assert "sweep run ID: run-" in output
+
+        document = json.loads(open(log_path, encoding="utf-8").read())
+        assert document["schema"] == "repro-log/1"
+        assert document["run_id"].startswith("run-")
+        events = [record["event"] for record in document["records"]]
+        assert events[0] == "sweep-start"
+        assert "worker-done" in events
+
+    def test_serve_command_with_top_once(self, tmp_path):
+        port_file = str(tmp_path / "port")
+        process = _spawn_cli(
+            [
+                "serve", "Brunel", "--scale", "0.02", "--steps", "300",
+                "--port-file", port_file,
+            ],
+            cwd=str(tmp_path),
+        )
+        try:
+            port = _wait_for_port(port_file, process)
+            code = main(["top", f"127.0.0.1:{port}", "--once"])
+        finally:
+            _finish(process)
+        assert code == 0
+
+
+class TestLogJsonWithoutServe:
+    def test_sweep_log_json_needs_no_server(self, tmp_path, capsys):
+        log_path = str(tmp_path / "logs.json")
+        code = main(
+            [
+                "sweep", "Brunel", "--backend", "reference",
+                "--scale", "0.02", "--steps", "150",
+                "--log-json", log_path,
+            ]
+        )
+        assert code == 0
+        assert "wrote merged log stream" in capsys.readouterr().out
+        document = json.loads(open(log_path, encoding="utf-8").read())
+        assert document["schema"] == "repro-log/1"
+        assert document["n_records"] == len(document["records"]) > 0
+
+
+class TestBenchCommand:
+    def test_bench_seeds_then_detects_regression(self, tmp_path, capsys):
+        history = str(tmp_path / "hist.jsonl")
+        argv = [
+            "bench", "--quick",
+            "--workloads", "Brunel",
+            "--history", history,
+            "--no-engine-seed",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        # Same measurement again, now compared: same machine, moments
+        # apart — far inside any sane threshold.
+        assert main([*argv, "--compare", "--threshold", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "vs best" in out
+
+        # Sabotage the history with an impossible prior, and the
+        # comparison must fail with a non-zero exit.
+        record = json.loads(
+            open(history, encoding="utf-8").readline()
+        )
+        record["workloads"]["Brunel"]["steps_per_sec"] *= 1000.0
+        with open(history, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+        assert main([*argv, "--compare"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_no_append_leaves_history_untouched(self, tmp_path):
+        history = str(tmp_path / "hist.jsonl")
+        code = main(
+            [
+                "bench", "--quick", "--workloads", "Brunel",
+                "--history", history, "--no-engine-seed", "--no-append",
+            ]
+        )
+        assert code == 0
+        assert not os.path.exists(history)

@@ -1,0 +1,240 @@
+"""Bench history and regression comparison (no timing — synthetic records)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.bench import (
+    BENCH_SCHEMA,
+    append_history,
+    best_prior,
+    compare_record,
+    engine_seed_baselines,
+    load_history,
+    make_record,
+    measure_workload,
+)
+
+
+def _record(backend="reference", scale=0.05, **workloads):
+    return {
+        "schema": BENCH_SCHEMA,
+        "ts": 0.0,
+        "backend": backend,
+        "scale": scale,
+        "workloads": {
+            name: {"steps_per_sec": value} for name, value in workloads.items()
+        },
+    }
+
+
+class TestHistory:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_append_then_load_round_trips(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(path, _record(Brunel=100.0))
+        append_history(path, _record(Brunel=120.0))
+        history = load_history(path)
+        assert len(history) == 2
+        assert history[1]["workloads"]["Brunel"]["steps_per_sec"] == 120.0
+
+    def test_bad_lines_are_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(
+            json.dumps(_record(Brunel=100.0))
+            + "\n{torn line\n"
+            + json.dumps({"schema": "other/1"})
+            + "\n\n"
+            + json.dumps(_record(Brunel=90.0))
+            + "\n",
+            encoding="utf-8",
+        )
+        history = load_history(str(path))
+        assert [r["workloads"]["Brunel"]["steps_per_sec"] for r in history] == [
+            100.0,
+            90.0,
+        ]
+
+    def test_append_repairs_missing_trailing_newline(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(json.dumps(_record(Brunel=1.0)), encoding="utf-8")
+        append_history(str(path), _record(Brunel=2.0))
+        assert len(load_history(str(path))) == 2
+
+
+class TestBestPrior:
+    def test_none_without_history_or_seed(self):
+        assert best_prior([], "Brunel", "reference") is None
+
+    def test_best_not_latest(self):
+        history = [
+            _record(Brunel=100.0),
+            _record(Brunel=150.0),
+            _record(Brunel=90.0),  # a slow host cannot ratchet down
+        ]
+        assert best_prior(history, "Brunel", "reference") == 150.0
+
+    def test_backend_filtered(self):
+        history = [
+            _record(backend="reference", Brunel=100.0),
+            _record(backend="flexon", Brunel=999.0),
+        ]
+        assert best_prior(history, "Brunel", "reference") == 100.0
+
+    def test_scale_filtered(self):
+        history = [
+            _record(scale=0.05, Brunel=100.0),
+            _record(scale=1.0, Brunel=10.0),
+        ]
+        assert best_prior(history, "Brunel", "reference", scale=1.0) == 10.0
+        assert best_prior(history, "Brunel", "reference", scale=0.05) == 100.0
+
+    def test_engine_seed_competes_for_reference_only(self):
+        seed = {"Brunel": 200.0}
+        history = [_record(Brunel=100.0)]
+        assert (
+            best_prior(history, "Brunel", "reference", engine_seed=seed)
+            == 200.0
+        )
+        assert (
+            best_prior(
+                [_record(backend="flexon", Brunel=100.0)],
+                "Brunel",
+                "flexon",
+                engine_seed=seed,
+            )
+            == 100.0
+        )
+
+    def test_malformed_entries_skipped(self):
+        history = [
+            {"schema": BENCH_SCHEMA, "backend": "reference",
+             "workloads": {"Brunel": "not-a-dict"}},
+            {"schema": BENCH_SCHEMA, "backend": "reference",
+             "workloads": {"Brunel": {"steps_per_sec": "fast"}}},
+        ]
+        assert best_prior(history, "Brunel", "reference") is None
+
+
+class TestCompareRecord:
+    def test_first_record_seeds_baseline(self):
+        ok, lines = compare_record(_record(Brunel=100.0), [])
+        assert ok
+        assert "seeds the baseline" in lines[0]
+
+    def test_within_threshold_passes(self):
+        ok, lines = compare_record(
+            _record(Brunel=90.0), [_record(Brunel=100.0)], threshold=0.15
+        )
+        assert ok
+        assert "ok" in lines[0]
+
+    def test_regression_beyond_threshold_fails(self):
+        ok, lines = compare_record(
+            _record(Brunel=80.0), [_record(Brunel=100.0)], threshold=0.15
+        )
+        assert not ok
+        assert "REGRESSION" in lines[0]
+
+    def test_improvement_passes(self):
+        ok, lines = compare_record(
+            _record(Brunel=130.0), [_record(Brunel=100.0)]
+        )
+        assert ok
+        assert "+30.0%" in lines[0]
+
+    def test_one_regressed_workload_fails_the_whole_record(self):
+        ok, lines = compare_record(
+            _record(Brunel=100.0, Izhikevich=10.0),
+            [_record(Brunel=100.0, Izhikevich=100.0)],
+        )
+        assert not ok
+        assert len(lines) == 2
+
+    def test_different_scale_history_does_not_compare(self):
+        ok, lines = compare_record(
+            _record(scale=1.0, Brunel=10.0), [_record(scale=0.05, Brunel=100.0)]
+        )
+        assert ok
+        assert "seeds the baseline" in lines[0]
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 2.0])
+    def test_threshold_must_be_a_fraction(self, bad):
+        with pytest.raises(ConfigurationError):
+            compare_record(_record(Brunel=1.0), [], threshold=bad)
+
+
+class TestEngineSeed:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert engine_seed_baselines(str(tmp_path / "nope.json")) == {}
+
+    def test_reads_reference_engine_entries(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "scale": 0.05,
+                    "workloads": {
+                        "Brunel": {"reference-engine": 123.0},
+                        "Izhikevich": {
+                            "reference-engine": {"steps_per_sec": 456.0}
+                        },
+                        "Other": {"some-backend": 1.0},
+                    },
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert engine_seed_baselines(str(path)) == {
+            "Brunel": 123.0,
+            "Izhikevich": 456.0,
+        }
+
+    def test_scale_mismatch_withholds_seed(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(
+            json.dumps(
+                {"scale": 0.05, "workloads": {"Brunel": {"reference-engine": 1.0}}}
+            ),
+            encoding="utf-8",
+        )
+        assert engine_seed_baselines(str(path), scale=1.0) == {}
+        assert engine_seed_baselines(str(path), scale=0.05) == {
+            "Brunel": 1.0
+        }
+
+    def test_repo_seed_file_parses(self):
+        # The committed genesis baseline must stay readable.
+        baselines = engine_seed_baselines("BENCH_engine.json", scale=0.05)
+        assert "Brunel" in baselines
+        assert all(v > 0 for v in baselines.values())
+
+
+class TestMeasurement:
+    def test_measure_workload_tiny_run(self):
+        entry = measure_workload(
+            "Brunel", steps=5, scale=0.02, reps=1
+        )
+        assert entry["steps_per_sec"] > 0
+        assert entry["neurons"] > 0
+        assert len(entry["reps"]) == 1
+
+    def test_make_record_shape(self):
+        progress_lines = []
+        record = make_record(
+            ["Brunel"], steps=5, scale=0.02, reps=1,
+            progress=progress_lines.append,
+        )
+        assert record["schema"] == BENCH_SCHEMA
+        assert record["scale"] == 0.02
+        assert "Brunel" in record["workloads"]
+        assert len(progress_lines) == 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_workload("Brunel", steps=0)
+        with pytest.raises(ConfigurationError):
+            measure_workload("Brunel", reps=0)

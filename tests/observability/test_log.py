@@ -1,0 +1,115 @@
+"""Structured logging: records, context, sinks, and the merged stream."""
+
+import pytest
+
+from repro.observability.log import (
+    LOG_SCHEMA,
+    StructuredLogger,
+    log_stream_document,
+    merge_records,
+    new_run_id,
+)
+
+
+class TestRunId:
+    def test_format(self):
+        run_id = new_run_id()
+        assert run_id.startswith("run-")
+        assert len(run_id) == 4 + 12
+        int(run_id[4:], 16)  # the suffix is hex
+
+    def test_unique(self):
+        assert new_run_id() != new_run_id()
+
+
+class TestStructuredLogger:
+    def test_record_shape(self):
+        records = []
+        log = StructuredLogger(
+            {"run_id": "run-abc", "job": "j1"}, sinks=[records.append]
+        )
+        log.info("worker-started", "attempt 0", attempt=0)
+        (record,) = records
+        assert record["level"] == "info"
+        assert record["event"] == "worker-started"
+        assert record["message"] == "attempt 0"
+        assert record["run_id"] == "run-abc"
+        assert record["job"] == "j1"
+        assert record["attempt"] == 0
+        assert isinstance(record["ts"], float)
+        assert isinstance(record["pid"], int)
+
+    def test_seq_is_monotone(self):
+        records = []
+        log = StructuredLogger(sinks=[records.append])
+        for _ in range(3):
+            log.info("tick")
+        assert [r["seq"] for r in records] == [0, 1, 2]
+
+    def test_level_threshold(self):
+        records = []
+        log = StructuredLogger(sinks=[records.append], level="warning")
+        assert log.debug("quiet") is None
+        assert log.info("quiet") is None
+        assert log.warning("loud") is not None
+        assert log.error("loud") is not None
+        assert len(records) == 2
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            StructuredLogger(level="loud")
+        with pytest.raises(ValueError):
+            StructuredLogger().log("loud", "event")
+
+    def test_raising_sink_is_dropped_not_fatal(self):
+        good = []
+
+        def bad_sink(record):
+            raise RuntimeError("sink broke")
+
+        log = StructuredLogger(sinks=[bad_sink, good.append])
+        log.info("first")
+        log.info("second")
+        # Both records reached the good sink; the bad one was removed
+        # after its first failure instead of failing every log call.
+        assert [r["event"] for r in good] == ["first", "second"]
+
+    def test_child_extends_context_and_shares_sinks(self):
+        records = []
+        parent = StructuredLogger({"run_id": "run-abc"}, sinks=[records.append])
+        parent.info("parent-event")
+        child = parent.child(job="j2", attempt=1)
+        child.info("child-event")
+        assert records[1]["run_id"] == "run-abc"
+        assert records[1]["job"] == "j2"
+        assert records[1]["attempt"] == 1
+        assert "job" not in records[0]
+        # The child's seq continues past the parent's.
+        assert records[1]["seq"] > records[0]["seq"]
+
+
+class TestMergeRecords:
+    def test_orders_by_ts_then_pid_then_seq(self):
+        stream_a = [
+            {"ts": 2.0, "pid": 10, "seq": 0, "event": "c"},
+            {"ts": 1.0, "pid": 10, "seq": 1, "event": "b"},
+        ]
+        stream_b = [
+            {"ts": 1.0, "pid": 5, "seq": 9, "event": "a"},
+            {"ts": 2.0, "pid": 10, "seq": 1, "event": "d"},
+        ]
+        merged = merge_records(stream_a, stream_b)
+        assert [r["event"] for r in merged] == ["a", "b", "c", "d"]
+
+    def test_deterministic_for_missing_keys(self):
+        merged = merge_records([{"event": "x"}], [{"ts": 1.0, "event": "y"}])
+        assert [r["event"] for r in merged] == ["x", "y"]
+
+
+class TestLogStreamDocument:
+    def test_schema_and_counts(self):
+        records = [{"ts": 1.0, "event": "a"}, {"ts": 2.0, "event": "b"}]
+        document = log_stream_document(records)
+        assert document["schema"] == LOG_SCHEMA == "repro-log/1"
+        assert document["n_records"] == 2
+        assert document["records"] == records

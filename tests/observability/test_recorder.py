@@ -1,0 +1,89 @@
+"""Flight recorder: bounded ring, atomic sidecar, post-mortem reads."""
+
+import json
+
+import pytest
+
+from repro.observability.recorder import FLIGHT_SCHEMA, FlightRecorder
+
+
+class TestRing:
+    def test_events_carry_context_and_ts(self):
+        recorder = FlightRecorder(context={"run_id": "run-abc", "job": "j"})
+        event = recorder.record("heartbeat", step=7)
+        assert event["kind"] == "heartbeat"
+        assert event["step"] == 7
+        assert event["run_id"] == "run-abc"
+        assert isinstance(event["ts"], float)
+
+    def test_capacity_bounds_the_ring(self):
+        recorder = FlightRecorder(capacity=3)
+        for step in range(10):
+            recorder.record("heartbeat", step=step)
+        dump = recorder.dump()
+        assert [e["step"] for e in dump["events"]] == [7, 8, 9]
+        assert dump["recorded_total"] == 10
+        assert dump["dropped"] == 7
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_observe_log_mirrors_records(self):
+        recorder = FlightRecorder()
+        recorder.observe_log({"level": "info", "event": "worker-started"})
+        (event,) = recorder.dump()["events"]
+        assert event["kind"] == "log"
+        assert event["event"] == "worker-started"
+
+    def test_dump_schema(self):
+        dump = FlightRecorder(capacity=5).dump()
+        assert dump["schema"] == FLIGHT_SCHEMA == "repro-flight/1"
+        assert dump["capacity"] == 5
+        assert dump["events"] == []
+
+
+class TestSidecar:
+    def test_sync_writes_atomically_readable_json(self, tmp_path):
+        path = str(tmp_path / "flight.json")
+        recorder = FlightRecorder(sidecar_path=path, sync_interval=0.0)
+        recorder.record("chaos", action="kill", step=3)
+        assert recorder.sync() is True
+        dump = FlightRecorder.load_dump(path)
+        assert dump is not None
+        assert dump["events"][0]["action"] == "kill"
+
+    def test_sync_is_throttled_until_forced(self, tmp_path):
+        path = str(tmp_path / "flight.json")
+        recorder = FlightRecorder(sidecar_path=path, sync_interval=3600.0)
+        recorder.record("heartbeat", step=1)
+        assert recorder.sync(force=True) is True
+        recorder.record("heartbeat", step=2)
+        # Within the throttle window: no write happens.
+        assert recorder.sync() is False
+        dump = FlightRecorder.load_dump(path)
+        assert [e["step"] for e in dump["events"]] == [1]
+        # Forcing bypasses the throttle.
+        assert recorder.sync(force=True) is True
+        dump = FlightRecorder.load_dump(path)
+        assert [e["step"] for e in dump["events"]] == [1, 2]
+
+    def test_no_sidecar_path_never_writes(self):
+        recorder = FlightRecorder()
+        recorder.record("heartbeat", step=1)
+        assert recorder.sync(force=True) is False
+
+
+class TestLoadDump:
+    def test_missing_file_is_none(self, tmp_path):
+        assert FlightRecorder.load_dump(str(tmp_path / "nope.json")) is None
+
+    def test_unparsable_file_is_none(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert FlightRecorder.load_dump(str(path)) is None
+
+    def test_wrong_schema_is_none(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "other/1"}), encoding="utf-8")
+        assert FlightRecorder.load_dump(str(path)) is None

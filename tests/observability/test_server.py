@@ -1,0 +1,229 @@
+"""The HTTP plane: spec parsing, event bus, status board, endpoints."""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.server import (
+    EVENTS_SCHEMA,
+    EventBus,
+    ObservabilityServer,
+    StatusBoard,
+    parse_serve_spec,
+)
+
+
+class TestParseServeSpec:
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_serve_spec("8080") == ("127.0.0.1", 8080)
+
+    def test_colon_port(self):
+        assert parse_serve_spec(":9090") == ("127.0.0.1", 9090)
+
+    def test_host_and_port(self):
+        assert parse_serve_spec("0.0.0.0:7070") == ("0.0.0.0", 7070)
+
+    def test_port_zero_allowed(self):
+        assert parse_serve_spec(":0") == ("127.0.0.1", 0)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "host:", "host:port", ":70000"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_serve_spec(bad)
+
+
+class TestEventBus:
+    def test_publish_stamps_schema_type_ts_seq(self):
+        bus = EventBus()
+        event = bus.publish("progress", {"step": 5})
+        assert event["schema"] == EVENTS_SCHEMA == "repro-events/1"
+        assert event["type"] == "progress"
+        assert event["step"] == 5
+        assert event["seq"] == 0
+        assert bus.publish("progress")["seq"] == 1
+
+    def test_subscriber_receives_events(self):
+        bus = EventBus()
+        with bus.subscribe() as subscription:
+            bus.publish("a")
+            bus.publish("b")
+            assert subscription.get(timeout=1.0)["type"] == "a"
+            assert subscription.get(timeout=1.0)["type"] == "b"
+            assert subscription.get(timeout=0.01) is None
+
+    def test_unsubscribe_on_close(self):
+        bus = EventBus()
+        subscription = bus.subscribe()
+        assert bus.subscriber_count == 1
+        subscription.close()
+        assert bus.subscriber_count == 0
+
+    def test_full_queue_drops_instead_of_blocking(self):
+        bus = EventBus(queue_depth=2)
+        with bus.subscribe() as subscription:
+            for _ in range(5):
+                bus.publish("tick")
+            # The publisher never blocked; the overflow was counted.
+            assert subscription.dropped == 3
+            assert bus.published_total == 5
+
+
+class TestStatusBoard:
+    def test_update_and_snapshot(self):
+        status = StatusBoard(state="starting")
+        status.update(current_step=10, steps_per_sec=100.0)
+        snapshot = status.snapshot()
+        assert snapshot["state"] == "starting"
+        assert snapshot["current_step"] == 10
+        assert snapshot["updated_ts"] > 0
+
+    def test_merge_updates_one_row(self):
+        status = StatusBoard()
+        status.merge("jobs", job_a={"state": "running"})
+        status.merge("jobs", job_b={"state": "pending"})
+        assert status.snapshot()["jobs"] == {
+            "job_a": {"state": "running"},
+            "job_b": {"state": "pending"},
+        }
+
+    def test_merge_into_non_dict_rejected(self):
+        status = StatusBoard(state="running")
+        with pytest.raises(ConfigurationError):
+            status.merge("state", nested=1)
+
+    def test_snapshot_isolated_from_later_updates(self):
+        status = StatusBoard()
+        status.update(phases={"neuron": {"p50_us": 1.0}})
+        snapshot = status.snapshot()
+        status.update(phases={"neuron": {"p50_us": 9.0}})
+        assert snapshot["phases"]["neuron"]["p50_us"] == 1.0
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read().decode("utf-8"), dict(
+            response.headers
+        )
+
+
+class TestObservabilityServer:
+    def test_endpoints_end_to_end(self):
+        status = StatusBoard(state="running")
+        bus = EventBus()
+        server = ObservabilityServer(
+            metrics_text=lambda: "# TYPE up gauge\nup 1\n",
+            status=status,
+            bus=bus,
+            port=0,
+        )
+        with server:
+            code, body, headers = _get(f"{server.url}/metrics")
+            assert code == 200
+            assert "up 1" in body
+            assert headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+
+            code, body, _ = _get(f"{server.url}/healthz")
+            assert (code, body) == (200, "ok\n")
+            code, body, _ = _get(f"{server.url}/readyz")
+            assert code == 200
+
+            code, body, _ = _get(f"{server.url}/status")
+            assert json.loads(body)["state"] == "running"
+
+            code, body, _ = _get(f"{server.url}/")
+            assert code == 200 and "/metrics" in body
+
+    def test_unknown_path_is_404(self):
+        with ObservabilityServer(port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"{server.url}/nope")
+            assert caught.value.code == 404
+
+    def test_failing_probe_is_503_with_reason(self):
+        server = ObservabilityServer(
+            health_check=lambda: (False, "breaker open"), port=0
+        )
+        with server:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"{server.url}/healthz")
+            assert caught.value.code == 503
+            assert "breaker open" in caught.value.read().decode("utf-8")
+
+    def test_raising_probe_is_unhealthy_not_fatal(self):
+        def broken():
+            raise RuntimeError("probe exploded")
+
+        with ObservabilityServer(ready_check=broken, port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"{server.url}/readyz")
+            assert caught.value.code == 503
+
+    def test_sse_stream_delivers_published_events(self):
+        bus = EventBus()
+        with ObservabilityServer(bus=bus, port=0) as server:
+            frames = []
+            done = threading.Event()
+
+            def consume():
+                request = urllib.request.urlopen(
+                    f"{server.url}/events", timeout=10.0
+                )
+                # ": stream open" comment arrives first, then frames of
+                # event:/id:/data: lines — read until a data line lands.
+                for _ in range(50):
+                    line = request.readline().decode("utf-8")
+                    if not line:
+                        break
+                    if line.strip():
+                        frames.append(line.strip())
+                    if line.startswith("data: "):
+                        break
+                request.close()
+                done.set()
+
+            thread = threading.Thread(target=consume, daemon=True)
+            thread.start()
+            # Publish until the consumer has its frames (it subscribes
+            # asynchronously, so early events may precede it).
+            for _ in range(100):
+                bus.publish("progress", {"step": 1})
+                if done.wait(timeout=0.05):
+                    break
+            assert done.is_set(), "SSE consumer never saw the event"
+            text = "\n".join(frames)
+            assert ": stream open" in text
+            assert "event: progress" in text
+            data_line = next(f for f in frames if f.startswith("data: "))
+            payload = json.loads(data_line[len("data: "):])
+            assert payload["schema"] == EVENTS_SCHEMA
+            assert payload["step"] == 1
+
+    def test_double_start_rejected(self):
+        server = ObservabilityServer(port=0)
+        with server:
+            with pytest.raises(ConfigurationError):
+                server.start()
+
+    def test_bind_conflict_is_configuration_error(self):
+        with ObservabilityServer(port=0) as server:
+            with pytest.raises(ConfigurationError):
+                ObservabilityServer(port=server.port).start()
+
+    def test_stop_is_idempotent_and_frees_the_port(self):
+        server = ObservabilityServer(port=0)
+        server.start()
+        port = server.port
+        server.stop()
+        server.stop()
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind(("127.0.0.1", port))
+        finally:
+            probe.close()

@@ -1,0 +1,161 @@
+"""``repro top``: rendering, fetching, and the refresh loop."""
+
+import io
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observability.server import ObservabilityServer, StatusBoard
+from repro.observability.top import CLEAR, fetch_status, format_top, run_top
+
+
+def _run_status():
+    return {
+        "state": "running",
+        "network": "Brunel",
+        "current_step": 250,
+        "n_steps_planned": 1000,
+        "steps_per_sec": 123.4,
+        "phases": {
+            "stimulus": {"p50_us": 10.0, "p95_us": 20.0},
+            "neuron": {"p50_us": 100.0, "p95_us": 250.0},
+            "synapse": {"p50_us": 50.0, "p95_us": 80.0},
+        },
+        "populations": {
+            "excitatory": {"neurons": 800, "ops_per_sec": 98720.0},
+            "inhibitory": {
+                "neurons": 200,
+                "ops_per_sec": 24680.0,
+                "p50_us": 42.0,
+                "p95_us": 99.0,
+            },
+        },
+        "updated_ts": 1.0,
+    }
+
+
+class TestFormatTop:
+    def test_run_view_renders_every_section(self):
+        frame = format_top(_run_status())
+        assert "Brunel [running]" in frame
+        assert "step 250 / 1,000 ( 25.0%)" in frame
+        assert "123.4 steps/s" in frame
+        assert "neuron" in frame and "250.0us" in frame
+        assert "excitatory" in frame and "98.7k" in frame
+        # Populations without kernel spans show dashes, not zeros.
+        excitatory_line = next(
+            line for line in frame.splitlines() if "excitatory" in line
+        )
+        assert "-" in excitatory_line
+        inhibitory_line = next(
+            line for line in frame.splitlines() if "inhibitory" in line
+        )
+        assert "42.0us" in inhibitory_line
+        assert "updated" in frame
+
+    def test_sweep_view_renders_jobs_and_totals(self):
+        frame = format_top(
+            {
+                "state": "running",
+                "sweep": "chaos-sweep",
+                "jobs": {
+                    "Brunel-reference": {
+                        "state": "running",
+                        "backend": "reference",
+                        "attempt": 1,
+                        "step": 120,
+                        "retries": 1,
+                    },
+                },
+                "sweep_totals": {
+                    "total": 2,
+                    "completed": 1,
+                    "failed": 0,
+                    "retries": 1,
+                    "breaker_trips": 0,
+                },
+            }
+        )
+        assert "chaos-sweep [running]" in frame
+        assert "Brunel-reference" in frame
+        # attempt is displayed 1-based
+        assert "       2" in frame or " 2 " in frame
+        assert "jobs 1/2 done, 0 failed, 1 retries, 0 breaker trip(s)" in frame
+
+    def test_empty_status_still_renders_header(self):
+        frame = format_top({})
+        assert "? [unknown]" in frame
+
+
+class TestFetchStatus:
+    def test_fetches_live_status(self):
+        status = StatusBoard(state="running")
+        with ObservabilityServer(status=status, port=0) as server:
+            document = fetch_status(server.url)
+        assert document["state"] == "running"
+
+    def test_unreachable_server_raises_repro_error(self):
+        with pytest.raises(ReproError):
+            fetch_status("http://127.0.0.1:1", timeout=0.5)
+
+
+class TestRunTop:
+    def test_once_prints_single_frame_without_clear(self):
+        status = StatusBoard(state="running", network="Brunel")
+        with ObservabilityServer(status=status, port=0) as server:
+            out = io.StringIO()
+            code = run_top(server.url, iterations=1, stream=out)
+        assert code == 0
+        assert "Brunel [running]" in out.getvalue()
+        assert CLEAR not in out.getvalue()
+
+    def test_refresh_clears_between_frames(self):
+        status = StatusBoard(state="running", network="Brunel")
+        with ObservabilityServer(status=status, port=0) as server:
+            out = io.StringIO()
+            code = run_top(server.url, interval=0.01, iterations=3, stream=out)
+        assert code == 0
+        assert out.getvalue().count(CLEAR) == 2
+
+    def test_no_clear_flag(self):
+        status = StatusBoard()
+        with ObservabilityServer(status=status, port=0) as server:
+            out = io.StringIO()
+            run_top(
+                server.url, interval=0.01, iterations=2, stream=out,
+                clear=False,
+            )
+        assert CLEAR not in out.getvalue()
+
+    def test_server_going_away_after_first_frame_is_clean_exit(self):
+        status = StatusBoard(state="running")
+        server = ObservabilityServer(status=status, port=0)
+        server.start()
+        url = server.url
+        out = io.StringIO()
+        frames = {"count": 0}
+
+        original_fetch = fetch_status
+
+        def fetch_then_kill(target, timeout=5.0):
+            document = original_fetch(target, timeout=timeout)
+            frames["count"] += 1
+            server.stop()  # the run finished; the plane shut down
+            return document
+
+        import repro.observability.top as top_module
+
+        original = top_module.fetch_status
+        top_module.fetch_status = fetch_then_kill
+        try:
+            code = run_top(url, interval=0.01, iterations=None, stream=out)
+        finally:
+            top_module.fetch_status = original
+            server.stop()
+        assert code == 0
+        assert frames["count"] == 1
+        assert "server went away" in out.getvalue()
+
+    def test_unreachable_server_on_first_fetch_raises(self):
+        with pytest.raises(ReproError):
+            run_top("http://127.0.0.1:1", iterations=1, stream=io.StringIO())

@@ -1,0 +1,184 @@
+"""Crash forensics: flight recorder, output capture, correlated logs.
+
+What the observability plane promises a post-mortem: every failed
+attempt carries (a) the flight-recorder dump — pipe-shipped when the
+worker could still speak, recovered from the atomically-synced sidecar
+when it was SIGKILLed — (b) the tail of the worker's captured
+stdout/stderr with the actual traceback text, and (c) structured log
+records correlated by ``run_id``/``job``/``attempt`` merged into one
+ordered ``SweepReport`` stream.
+
+These tests spawn real worker processes (same tiny workloads as the
+supervisor suite).
+"""
+
+import multiprocessing
+import os
+
+from repro.supervision import JobSpec, RetryPolicy, Supervisor
+from repro.supervision.worker import worker_entry
+
+FAST_RETRY = RetryPolicy(max_retries=1, base_delay=0.01, jitter=0.0)
+
+
+def make_job(name="job", **overrides):
+    base = dict(
+        workload="Nowotny et al.",
+        backend="reference",
+        steps=120,
+        scale=0.05,
+        seed=3,
+    )
+    base.update(overrides)
+    return JobSpec(name=name, **base)
+
+
+def make_supervisor(**overrides):
+    base = dict(retry=FAST_RETRY, checkpoint_every=40, deadline_seconds=90.0)
+    base.update(overrides)
+    return Supervisor(**base)
+
+
+class TestFlightRecorder:
+    def test_crash_attempt_ships_flight_dump_over_the_pipe(self):
+        report = make_supervisor().run(
+            [make_job(chaos_crash_at_step=60)]
+        )
+        job = report.jobs[0]
+        failed = job.attempts[0]
+        assert failed.outcome == "crash"
+        dump = failed.flight_recorder
+        assert dump is not None and dump["schema"] == "repro-flight/1"
+        kinds = {event["kind"] for event in dump["events"]}
+        # The caught-crash path records the failure itself plus the
+        # worker-started log mirror; heartbeats are cadence-dependent.
+        assert "failure" in kinds
+        assert "log" in kinds
+        failure = next(
+            e for e in dump["events"] if e["kind"] == "failure"
+        )
+        assert failure["failure_kind"] == "crash"
+        assert "chaos crash injected" in failure["error"]
+
+    def test_sigkilled_attempt_recovers_sidecar_dump(self):
+        report = make_supervisor().run(
+            [make_job(chaos_kill_at_step=60)]
+        )
+        job = report.jobs[0]
+        killed = job.attempts[0]
+        assert killed.outcome == "oom-like"  # the SIGKILL signature
+        dump = killed.flight_recorder
+        assert dump is not None, "sidecar dump not recovered"
+        chaos = [e for e in dump["events"] if e["kind"] == "chaos"]
+        assert chaos and chaos[0]["action"] == "kill"
+        assert chaos[0]["step"] == 60
+
+    def test_flight_events_carry_correlation_ids(self):
+        supervisor = make_supervisor()
+        report = supervisor.run([make_job(chaos_kill_at_step=60)])
+        dump = report.jobs[0].attempts[0].flight_recorder
+        for event in dump["events"]:
+            assert event["run_id"] == supervisor.run_id == report.run_id
+            assert event["job"] == "job"
+            assert event["attempt"] == 0
+
+    def test_successful_attempt_carries_no_dump(self):
+        report = make_supervisor().run([make_job()])
+        attempt = report.jobs[0].attempts[0]
+        assert attempt.outcome == "completed"
+        assert attempt.flight_recorder is None
+        assert attempt.output_tail == ""
+
+    def test_forensics_survive_report_serialization(self):
+        report = make_supervisor().run([make_job(chaos_crash_at_step=60)])
+        document = report.to_dict()
+        attempt = document["jobs"][0]["attempts"][0]
+        assert attempt["flight_recorder"]["events"]
+        assert "Traceback" in attempt["output_tail"]
+        assert document["run_id"] == report.run_id
+
+
+class TestOutputCapture:
+    def test_crash_traceback_text_survives_in_output_tail(self):
+        report = make_supervisor().run([make_job(chaos_crash_at_step=60)])
+        tail = report.jobs[0].attempts[0].output_tail
+        assert "Traceback (most recent call last)" in tail
+        assert "SupervisionError" in tail
+        assert "chaos crash injected at step 60" in tail
+
+    def test_pre_payload_crash_still_leaves_a_traceback(self, tmp_path):
+        """A worker that dies before its first pipe message (malformed
+        payload here, standing in for any bootstrap failure) must still
+        leave its traceback in the capture file, because the fd
+        redirect happens before ``conn.recv()``."""
+        capture_path = str(tmp_path / "worker.out")
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=worker_entry, args=(child_conn, capture_path)
+        )
+        process.start()
+        child_conn.close()
+        # No "spec" key: JobSpec.from_payload raises inside the worker.
+        parent_conn.send({"not-a-spec": True})
+        process.join(timeout=30)
+        assert process.exitcode not in (None, 0)
+        with open(capture_path, encoding="utf-8") as handle:
+            captured = handle.read()
+        assert "Traceback" in captured
+
+    def test_capture_files_are_cleaned_up(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        report = make_supervisor(checkpoint_dir=checkpoint_dir).run(
+            [make_job(chaos_crash_at_step=60)]
+        )
+        assert report.jobs[0].completed  # retried to completion
+        leftovers = [
+            name for name in os.listdir(checkpoint_dir)
+            if name.endswith(".out") or name.endswith(".flight.json")
+        ]
+        assert leftovers == []
+
+
+class TestCorrelatedLogs:
+    def test_sweep_report_merges_supervisor_and_worker_logs(self):
+        supervisor = make_supervisor()
+        report = supervisor.run([make_job(chaos_crash_at_step=60)])
+        records = report.log_records
+        events = [record["event"] for record in records]
+        assert events[0] == "sweep-start"
+        assert events[-1] == "sweep-end"
+        assert "worker-started" in events
+        assert "worker-failed" in events
+        assert "attempt-failed" in events
+        assert "worker-done" in events  # the successful retry
+        # Every record is stamped with the sweep's run_id; worker
+        # records carry their job/attempt context.
+        assert all(r["run_id"] == supervisor.run_id for r in records)
+        worker_records = [
+            r for r in records if r.get("component") == "worker"
+        ]
+        assert worker_records
+        assert all(r["job"] == "job" for r in worker_records)
+        failed = next(r for r in records if r["event"] == "worker-failed")
+        assert failed["attempt"] == 0
+        done = next(r for r in records if r["event"] == "worker-done")
+        assert done["attempt"] == 1
+
+    def test_merged_stream_is_time_ordered(self):
+        report = make_supervisor().run([make_job()])
+        timestamps = [record["ts"] for record in report.log_records]
+        assert timestamps == sorted(timestamps)
+
+    def test_log_stream_document_schema(self):
+        report = make_supervisor().run([make_job()])
+        document = report.log_stream()
+        assert document["schema"] == "repro-log/1"
+        assert document["run_id"] == report.run_id
+        assert document["n_records"] == len(report.log_records)
+
+    def test_distinct_sweeps_get_distinct_run_ids(self):
+        first = make_supervisor()
+        second = make_supervisor()
+        assert first.run_id != second.run_id
+        assert first.run_id.startswith("run-")
