@@ -57,6 +57,9 @@ Subcommands:
     to ``BENCH_history.jsonl``, and with ``--compare`` exit non-zero
     when throughput regressed more than the threshold against the best
     prior record (seeded from the committed ``BENCH_engine.json``).
+    ``--plasticity`` instead measures lazy-STDP overhead (plasticity
+    off vs lazy vs dense on Brunel and Vogels) and fails when the lazy
+    and dense spike digests diverge or nothing was actually deferred.
 """
 
 from __future__ import annotations
@@ -685,6 +688,8 @@ def _cmd_top(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.observability import bench
 
+    if args.plasticity:
+        return _bench_plasticity(args, bench)
     workloads = (
         [name.strip() for name in args.workloads.split(",") if name.strip()]
         if args.workloads
@@ -725,6 +730,51 @@ def _cmd_bench(args) -> int:
     if not args.no_append:
         bench.append_history(args.history, record)
         print(f"\nappended record to {args.history!r}")
+    return exit_code
+
+
+def _bench_plasticity(args, bench) -> int:
+    """``repro bench --plasticity``: lazy-STDP overhead and pinning.
+
+    Fails (exit 1) when the lazy and dense spike digests diverge on any
+    workload — they share the same analytic event arithmetic, so any
+    difference is a bug — or when the lazy path deferred zero trace
+    updates (the laziness it exists for did not happen).
+    """
+    workloads = (
+        [name.strip() for name in args.workloads.split(",") if name.strip()]
+        if args.workloads
+        else list(bench.DEFAULT_PLASTICITY_WORKLOADS)
+    )
+    steps, scale, reps = min(args.steps, 300), args.scale, args.reps
+    if args.quick:
+        # still 300 steps: fewer and the small-scale networks are
+        # silent for the whole run, which would make the digest pin
+        # vacuous; a single rep is where the time actually goes
+        steps, scale, reps = min(steps, 300), min(scale, 0.05), 1
+    print(
+        f"plasticity bench on {len(workloads)} workload(s): {steps} steps "
+        f"at scale {scale:g}, off vs lazy vs dense STDP"
+    )
+    record = bench.make_plasticity_record(
+        workloads, steps=steps, scale=scale,
+        seed=args.seed, reps=reps, progress=print,
+    )
+    exit_code = 0
+    for name, entry in record["plasticity"].items():
+        if not entry["digest_match"]:
+            print(
+                f"FAIL: {name}: lazy and dense STDP spike digests differ "
+                f"({entry['modes']['lazy']['digest'][:16]}… vs "
+                f"{entry['modes']['eager']['digest'][:16]}…)"
+            )
+            exit_code = 1
+        if entry["modes"]["lazy"]["deferred_updates"] <= 0:
+            print(f"FAIL: {name}: lazy STDP deferred no trace updates")
+            exit_code = 1
+    if not args.no_append:
+        bench.append_history(args.history, record)
+        print(f"\nappended plasticity record to {args.history!r}")
     return exit_code
 
 
@@ -1047,6 +1097,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="CI preset: caps steps/scale/reps for a fast smoke bench",
+    )
+    bench.add_argument(
+        "--plasticity",
+        action="store_true",
+        help="measure lazy-STDP overhead (off vs lazy vs dense) instead "
+        "of raw throughput; fails if lazy and dense spike digests "
+        "diverge or no trace updates were deferred",
     )
     bench.add_argument(
         "--history",

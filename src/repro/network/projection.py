@@ -76,6 +76,16 @@ class Projection:
         """Largest delay in time steps (1 when the projection is empty)."""
         return int(self.delays.max()) if self.delays.size else 1
 
+    @property
+    def min_delay(self) -> int:
+        """Smallest delay in time steps (1 when the projection is empty).
+
+        The routing layer's flush horizon: no spike through this
+        projection can arrive sooner than ``min_delay`` steps after it
+        was generated.
+        """
+        return int(self.delays.min()) if self.delays.size else 1
+
     def synapses_of(self, fired_pre: np.ndarray):
         """Gather the synapses of the given fired presynaptic neurons.
 
@@ -171,6 +181,22 @@ def connect(
     """
     if not 0.0 <= probability <= 1.0:
         raise ConfigurationError(f"probability must be in [0, 1], got {probability}")
+    for field, value in (("delay_steps", delay_steps), ("delay_jitter", delay_jitter)):
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise ConfigurationError(
+                f"connect({pre.name!r} -> {post.name!r}): {field} must be "
+                f"an integer, got {value!r}"
+            )
+    if delay_steps < 1:
+        raise ConfigurationError(
+            f"connect({pre.name!r} -> {post.name!r}): delay_steps must be "
+            f">= 1, got {delay_steps}"
+        )
+    if delay_jitter < 0:
+        raise ConfigurationError(
+            f"connect({pre.name!r} -> {post.name!r}): delay_jitter must be "
+            f">= 0, got {delay_jitter}"
+        )
     rng = rng if rng is not None else np.random.default_rng(0)
     if probability >= 1.0:
         pre_idx, post_idx = np.meshgrid(

@@ -67,8 +67,8 @@ from repro.errors import ReproError, SimulationError
 from repro.network.backends import Backend, ReferenceBackend, RuntimeBackend
 from repro.network.network import Network
 from repro.network.recorder import SpikeRecorder, StateRecorder
-from repro.network.spike_queue import SpikeQueue
 from repro.reliability.diagnostics import RunDiagnostics
+from repro.routing import DelayRing, SpikeRouter
 
 __all__ = [
     "PHASES",
@@ -202,17 +202,25 @@ class Simulator:
         self.dt = dt
         self.rng = np.random.default_rng(seed)
         self.backend.prepare(network)
-        depth = network.max_delay()
-        self._queues: Dict[str, SpikeQueue] = {
-            name: SpikeQueue(pop.n, pop.n_synapse_types, depth)
-            for name, pop in network.populations.items()
-        }
+        self._router = SpikeRouter.from_network(network)
+        self._queues: Dict[str, DelayRing] = self._router.rings
+        # Runtimes that understand the routing layer (the event-driven
+        # monitors) get their population's ring bound once, so they can
+        # consult exact event counts instead of scanning dense input.
+        if isinstance(self.backend, RuntimeBackend):
+            for name, runtime in self.backend.runtimes.items():
+                runtime.bind_ring(self._router.ring(name))
         self._step = 0
         self._live_spikes: Optional[SpikeRecorder] = None
 
     @property
-    def queues(self) -> Dict[str, SpikeQueue]:
-        """The per-population delay queues (checkpointing, fault models)."""
+    def router(self) -> SpikeRouter:
+        """The routing layer: every population's delay ring."""
+        return self._router
+
+    @property
+    def queues(self) -> Dict[str, DelayRing]:
+        """The per-population delay rings (checkpointing, fault models)."""
         return self._queues
 
     @property
@@ -504,8 +512,7 @@ class Simulator:
                 if failures:
                     isolate_failures(step)
 
-                for _, queue, _ in populations:
-                    queue.rotate()
+                self._router.rotate_all()
                 self._step += 1
         finally:
             self._live_spikes = None
@@ -607,7 +614,15 @@ class Simulator:
                 "spike_queue_pending_weight",
                 "Sum of in-flight synaptic weight awaiting delivery.",
                 labels,
+            ).set(queue.pending_weight())
+            metrics.gauge(
+                "spike_queue_pending_events",
+                "In-flight deliveries awaiting their arrival step.",
+                labels,
             ).set(queue.pending_total())
+        self._router.publish_metrics(metrics)
+        for rule in self.network.plasticity_rules:
+            rule.publish_metrics(metrics)
         for name, value in evaluations.items():
             metrics.gauge(
                 "runtime_evaluations_per_step",

@@ -1,101 +1,24 @@
-"""Delay ring buffer carrying in-flight spike weights.
+"""Back-compat home of the per-population delay ring.
 
-Output spikes propagate "after a certain number of time steps, or
-delay, associated to each synapse" (Section II-C). Each population owns
-one :class:`SpikeQueue`: a ring of per-step accumulation buffers of
-shape ``(n_synapse_types, n)``. Enqueueing a spike adds its synaptic
-weight into the slot ``delay`` steps ahead; at each step the simulator
-pops the current slot as that population's accumulated input.
+The implementation moved to :mod:`repro.routing.ring` when spike
+delivery became a routing layer of its own (shared by the simulator,
+the event-driven runtimes, checkpointing, and the future sharded
+exchange). :class:`SpikeQueue` remains as the historical name — it *is*
+a :class:`~repro.routing.ring.DelayRing` — so existing imports, tests,
+and checkpoints keep working unchanged.
+
+Note one deliberate behaviour fix that rode along with the move:
+``pending_total()`` now returns the exact integral number of in-flight
+deliveries (event counts are integers end-to-end); the accumulated
+float weight lives on ``pending_weight()``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.routing.ring import DelayRing
 
-from repro.errors import SimulationError
+__all__ = ["SpikeQueue"]
 
 
-class SpikeQueue:
+class SpikeQueue(DelayRing):
     """Ring buffer of accumulated synaptic weights for one population."""
-
-    def __init__(self, n: int, n_synapse_types: int, max_delay: int):
-        if max_delay < 1:
-            raise SimulationError(f"max_delay must be >= 1, got {max_delay}")
-        self.n = n
-        self.n_synapse_types = n_synapse_types
-        self.depth = max_delay + 1
-        self._ring = np.zeros(
-            (self.depth, n_synapse_types, n), dtype=np.float64
-        )
-        self._head = 0
-        #: Lifetime count of spike deliveries accumulated into the ring
-        #: (telemetry; published as ``spike_queue_enqueued_total``).
-        self.enqueued_events = 0
-
-    def enqueue(
-        self,
-        post_idx: np.ndarray,
-        weights: np.ndarray,
-        delays: np.ndarray,
-        syn_type: int,
-    ) -> None:
-        """Accumulate spike weights arriving ``delays`` steps from now."""
-        if post_idx.size == 0:
-            return
-        if np.any(delays < 1) or np.any(delays >= self.depth):
-            raise SimulationError(
-                f"delay out of range 1..{self.depth - 1} for this queue"
-            )
-        slots = (self._head + delays) % self.depth
-        np.add.at(self._ring, (slots, syn_type, post_idx), weights)
-        self.enqueued_events += post_idx.size
-
-    def enqueue_now(
-        self, post_idx: np.ndarray, weights: np.ndarray, syn_type: int
-    ) -> None:
-        """Accumulate weights into the slot popped at the *current* step.
-
-        Used by stimulus generation, which injects into the present
-        time step before the neuron-computation phase runs.
-        """
-        if post_idx.size == 0:
-            return
-        np.add.at(self._ring, (self._head, syn_type, post_idx), weights)
-        self.enqueued_events += post_idx.size
-
-    def current(self) -> np.ndarray:
-        """The ``(n_synapse_types, n)`` input accumulated for this step."""
-        return self._ring[self._head]
-
-    def rotate(self) -> None:
-        """Clear the consumed slot and advance to the next step."""
-        self._ring[self._head][:] = 0.0
-        self._head = (self._head + 1) % self.depth
-
-    def pending_total(self) -> float:
-        """Sum of all queued weight (useful for conservation tests)."""
-        return float(self._ring.sum())
-
-    def snapshot(self) -> dict:
-        """The full ring contents and head position (checkpointing)."""
-        return {
-            "ring": self._ring.copy(),
-            "head": self._head,
-            "enqueued_events": self.enqueued_events,
-        }
-
-    def restore(self, snapshot: dict) -> None:
-        """Overwrite the ring from a :meth:`snapshot`."""
-        ring = np.asarray(snapshot["ring"], dtype=np.float64)
-        if ring.shape != self._ring.shape:
-            raise SimulationError(
-                f"snapshot ring shape {ring.shape} does not match "
-                f"{self._ring.shape}"
-            )
-        head = int(snapshot["head"])
-        if not 0 <= head < self.depth:
-            raise SimulationError(f"snapshot head {head} out of range")
-        self._ring[:] = ring
-        self._head = head
-        # Older checkpoints predate the telemetry counter.
-        self.enqueued_events = int(snapshot.get("enqueued_events", 0))

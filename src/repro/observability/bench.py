@@ -36,13 +36,16 @@ from repro.io import atomic_write_text
 __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_HISTORY_PATH",
+    "DEFAULT_PLASTICITY_WORKLOADS",
     "DEFAULT_THRESHOLD",
     "append_history",
     "best_prior",
     "compare_record",
     "engine_seed_baselines",
     "load_history",
+    "make_plasticity_record",
     "make_record",
+    "measure_plasticity",
     "measure_workload",
 ]
 
@@ -134,6 +137,161 @@ def make_record(
         "python": platform.python_version(),
         "machine": platform.machine(),
         "workloads": entries,
+    }
+
+
+# -- plasticity overhead ---------------------------------------------------
+
+#: Workloads the plasticity bench runs by default: the ISSUE's Brunel
+#: and Vogels networks — one current-based, one conductance-based E/I
+#: recipe, at usefully different firing rates.
+DEFAULT_PLASTICITY_WORKLOADS = ("Brunel", "Vogels et al.")
+
+#: Marks a history record as a plasticity-overhead measurement. Such
+#: records keep ``workloads`` empty so throughput comparison
+#: (:func:`best_prior` / :func:`compare_record`) never mixes a
+#: plasticity-on run into the plain steps/sec baseline.
+PLASTICITY_KIND = "plasticity"
+
+
+def _plastic_projection(network):
+    """The projection the bench makes plastic: exc->exc when the
+    standard E/I recipe built the network, else the first projection
+    that actually has synapses."""
+    for projection in network.projections:
+        if projection.pre.name == "exc" and projection.post.name == "exc":
+            return projection
+    for projection in network.projections:
+        if projection.n_synapses:
+            return projection
+    raise ConfigurationError(
+        f"network {network.name!r} has no synapses to make plastic"
+    )
+
+
+def measure_plasticity(
+    name: str,
+    steps: int = 300,
+    scale: float = 0.05,
+    seed: int = 5,
+    reps: int = 1,
+) -> dict:
+    """Plasticity-on vs plasticity-off overhead of one workload.
+
+    Runs the workload three times from identical initial conditions:
+    with no plasticity, with lazy (deferred) :class:`PairSTDP` on the
+    recurrent excitatory projection, and with the dense reference
+    schedule (``deferred=False``). The lazy and dense modes share the
+    same analytic event arithmetic, so their spike digests must match
+    bit-for-bit — the entry records both digests and the comparison,
+    which the CLI turns into an exit code.
+    """
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    if reps < 1:
+        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    from repro.network.simulator import Simulator
+    from repro.plasticity.stdp import PairSTDP
+    from repro.supervision.job import spike_digest
+    from repro.telemetry.profile import _make_backend
+    from repro.workloads import build_workload, get_spec
+    from repro.workloads.builders import DT
+
+    spec = get_spec(name)
+
+    def run_mode(mode: str):
+        network = build_workload(name, scale=scale, seed=seed)
+        rule = None
+        if mode != "off":
+            rule = PairSTDP(deferred=(mode == "lazy"))
+            network.add_plasticity(_plastic_projection(network), rule)
+        simulator = Simulator(
+            network,
+            _make_backend("reference", spec.solver, DT),
+            dt=DT,
+            seed=seed + 1,
+        )
+        start = time.perf_counter()
+        result = simulator.run(steps)
+        elapsed = time.perf_counter() - start
+        return steps / elapsed, result, rule
+
+    modes: Dict[str, dict] = {}
+    for mode in ("off", "lazy", "eager"):
+        samples: List[float] = []
+        result = rule = None
+        for _ in range(reps):
+            steps_per_sec, result, rule = run_mode(mode)
+            samples.append(steps_per_sec)
+        samples.sort()
+        entry = {
+            "steps_per_sec": samples[len(samples) // 2],
+            "reps": samples,
+            "total_spikes": result.total_spikes(),
+            "digest": spike_digest(result.spikes),
+        }
+        if rule is not None:
+            entry.update(
+                deferred_updates=rule.deferred_updates,
+                applied_updates=rule.applied_updates,
+                trace_refreshes=rule.trace_refreshes,
+                n_plastic_synapses=rule.projection.n_synapses,
+            )
+        modes[mode] = entry
+
+    off = modes["off"]["steps_per_sec"]
+    return {
+        "steps": steps,
+        "spikes_per_step": modes["off"]["total_spikes"] / steps,
+        "modes": modes,
+        # (time_with - time_without) / time_without, from steps/sec
+        "overhead_lazy": off / modes["lazy"]["steps_per_sec"] - 1.0,
+        "overhead_eager": off / modes["eager"]["steps_per_sec"] - 1.0,
+        "digest_match": modes["lazy"]["digest"] == modes["eager"]["digest"],
+    }
+
+
+def make_plasticity_record(
+    workloads: Sequence[str] = DEFAULT_PLASTICITY_WORKLOADS,
+    steps: int = 300,
+    scale: float = 0.05,
+    seed: int = 5,
+    reps: int = 1,
+    progress=None,
+) -> dict:
+    """Measure plasticity overhead into one ``repro-bench/1`` record.
+
+    The record carries ``kind: "plasticity"`` and its measurements
+    under ``plasticity`` (with ``workloads`` left empty), so it rides
+    the same append-only history file without ever becoming a
+    throughput baseline for ``--compare``.
+    """
+    entries: Dict[str, dict] = {}
+    for name in workloads:
+        entries[name] = measure_plasticity(
+            name, steps=steps, scale=scale, seed=seed, reps=reps
+        )
+        if progress is not None:
+            entry = entries[name]
+            progress(
+                f"{name:20s} lazy {100 * entry['overhead_lazy']:+6.1f}%  "
+                f"dense {100 * entry['overhead_eager']:+6.1f}%  "
+                f"({entry['spikes_per_step']:.1f} spikes/step, digests "
+                f"{'match' if entry['digest_match'] else 'DIFFER'})"
+            )
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": PLASTICITY_KIND,
+        "ts": time.time(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "backend": "reference",
+        "steps": steps,
+        "scale": scale,
+        "seed": seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": {},
+        "plasticity": entries,
     }
 
 

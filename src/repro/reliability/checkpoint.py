@@ -8,13 +8,16 @@ where it stopped:
 
 * the global step index,
 * the stimulus RNG's bit-generator state,
-* every population's :class:`~repro.network.spike_queue.SpikeQueue`
-  ring (in-flight delayed spikes),
+* every population's :class:`~repro.routing.ring.DelayRing` (in-flight
+  delayed spikes: per-bucket accumulated weights *and* integral event
+  counts, plus the ring head and lifetime enqueue counter),
 * every population runtime's state, via the runtime ``snapshot`` seam —
   SoA float blocks (compiled), dict state plus solver counters
   (solver), raw fixed-point words (hardware), degradation status
   (fallback),
-* every plasticity rule's traces and mutated weights,
+* every plasticity rule's lazy traces — per-neuron ``(value,
+  last_update_step)`` pairs, the rule's step clock and counters — and
+  the weights the rule mutates,
 * optionally the spikes recorded so far, so a resumed run's recorder
   carries the full train.
 
@@ -43,7 +46,13 @@ from repro.network.recorder import SpikeRecorder
 from repro.network.simulator import Simulator
 
 #: Bumped whenever the on-disk payload layout changes.
-CHECKPOINT_VERSION = 1
+#: 1 → 2: spike queues became delay rings (snapshots gained integral
+#: per-bucket event counts, a min-delay flush horizon and the lifetime
+#: enqueue counter) and PairSTDP traces went lazy (dense ``x_pre`` /
+#: ``y_post`` arrays replaced by ``(value, last_step)`` pairs plus the
+#: rule's step clock). Version-1 files cannot express either and are
+#: rejected at restore.
+CHECKPOINT_VERSION = 2
 
 
 def _signature_of(simulator: Simulator) -> Dict[str, object]:
@@ -122,9 +131,15 @@ class Checkpoint:
         shape, backend kind and dt the checkpoint was captured from.
         """
         if self.version != CHECKPOINT_VERSION:
+            detail = ""
+            if self.version == 1:
+                detail = (
+                    "; version 1 predates delay-ring event counts and "
+                    "lazy plasticity traces — re-capture from a fresh run"
+                )
             raise CheckpointError(
                 f"checkpoint version {self.version} not supported "
-                f"(expected {CHECKPOINT_VERSION})"
+                f"(expected {CHECKPOINT_VERSION}){detail}"
             )
         expected = _signature_of(simulator)
         if self.signature != expected:

@@ -221,3 +221,25 @@ class TestBenchCommand:
         )
         assert code == 0
         assert not os.path.exists(history)
+
+    def test_bench_plasticity_records_overhead_and_digest(
+        self, tmp_path, capsys
+    ):
+        history = str(tmp_path / "hist.jsonl")
+        code = main(
+            [
+                "bench", "--plasticity", "--quick",
+                "--workloads", "Vogels et al.",
+                "--history", history, "--no-engine-seed",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "digests match" in out
+        record = json.loads(open(history, encoding="utf-8").readline())
+        assert record["kind"] == "plasticity"
+        entry = record["plasticity"]["Vogels et al."]
+        assert entry["digest_match"] is True
+        assert entry["modes"]["lazy"]["deferred_updates"] > 0
+        assert entry["modes"]["lazy"]["total_spikes"] > 0
+        assert set(entry["modes"]) == {"off", "lazy", "eager"}

@@ -86,7 +86,21 @@ class TestSpikeQueue:
             delays = rng.integers(1, 6, size=4)
             queue.enqueue(idx, weights, delays, syn_type=0)
             total += weights.sum()
-        assert queue.pending_total() == pytest.approx(total)
+        assert queue.pending_weight() == pytest.approx(total)
+
+    def test_pending_total_counts_events_integrally(self):
+        queue = SpikeQueue(10, 2, 5)
+        rng = np.random.default_rng(0)
+        events = 0
+        for _ in range(20):
+            idx = rng.integers(0, 10, size=4)
+            queue.enqueue(idx, rng.random(4), rng.integers(1, 6, size=4), 0)
+            events += 4
+        assert queue.pending_total() == events
+        assert type(queue.pending_total()) is int
+        queue.rotate()
+        assert queue.pending_total() <= events
+        assert type(queue.pending_total()) is int
 
 
 class TestStimuli:

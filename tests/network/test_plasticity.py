@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import CheckpointError, ConfigurationError, SimulationError
 from repro.models import LIF
 from repro.network import Network, PatternStimulus, Population, Projection, Simulator
 from repro.plasticity import PairSTDP
@@ -131,6 +131,44 @@ class TestPairSTDPRule:
         rule.attach(projection)
         assert rule.mean_weight() == pytest.approx(0.5)
 
+    def test_rejects_changing_dt(self):
+        rule = PairSTDP()
+        rule.attach(_one_to_one())
+        rule.step(_fire(0), _fire(), DT)
+        with pytest.raises(SimulationError):
+            rule.step(_fire(), _fire(0), DT * 2)
+
+    def test_deferred_counters_scale_with_silence(self):
+        rule = PairSTDP()
+        rule.attach(_one_to_one())
+        for _ in range(10):
+            rule.step(_fire(), _fire(), DT)
+        # 3 pre + 3 post traces, decayed by the dense schedule on
+        # every one of 10 silent steps, all deferred by the lazy one.
+        assert rule.deferred_updates == 60
+        assert rule.applied_updates == 0
+        assert rule.trace_refreshes == 0
+        assert rule.steps_seen == 10
+
+    def test_dense_mode_defers_nothing(self):
+        rule = PairSTDP(deferred=False)
+        rule.attach(_one_to_one())
+        for _ in range(10):
+            rule.step(_fire(), _fire(), DT)
+        assert rule.deferred_updates == 0
+        assert rule.trace_refreshes == 60
+
+    def test_restore_rejects_pre_lazy_payload(self):
+        rule = PairSTDP()
+        rule.attach(_one_to_one())
+        legacy = {
+            "x_pre": np.zeros(3),
+            "y_post": np.zeros(3),
+            "weights": np.full(3, 0.5),
+        }
+        with pytest.raises(CheckpointError, match="lazy-trace"):
+            rule.restore(legacy)
+
 
 class TestProjectionIndexViews:
     def test_pre_of_synapses(self):
@@ -160,7 +198,7 @@ class TestProjectionIndexViews:
 
 
 class TestSimulatorIntegration:
-    def _learning_network(self):
+    def _learning_network(self, deferred=True):
         net = Network("stdp")
         inputs = net.add_population("inputs", 4, "LIF")
         net.add_population("output", 1, "LIF")
@@ -180,7 +218,10 @@ class TestSimulatorIntegration:
                 net.populations["output"], {3: [0]}, weight=200.0, period=40
             )
         )
-        rule = PairSTDP(a_plus=0.5, a_minus=0.5, w_min=0.0, w_max=20.0)
+        rule = PairSTDP(
+            a_plus=0.5, a_minus=0.5, w_min=0.0, w_max=20.0,
+            deferred=deferred,
+        )
         net.add_plasticity(projection, rule)
         return net, projection, rule
 
@@ -212,3 +253,36 @@ class TestSimulatorIntegration:
         foreign = _one_to_one()
         with pytest.raises(ConfigurationError):
             net.add_plasticity(foreign, PairSTDP())
+
+    def test_lazy_and_dense_runs_are_bit_identical(self):
+        from repro.supervision.job import spike_digest
+
+        def run(deferred):
+            net, projection, _ = self._learning_network(deferred=deferred)
+            result = Simulator(net, dt=DT, seed=0).run(400)
+            return spike_digest(result.spikes), projection.weights.copy()
+
+        lazy_digest, lazy_weights = run(True)
+        dense_digest, dense_weights = run(False)
+        assert lazy_digest == dense_digest
+        np.testing.assert_array_equal(lazy_weights, dense_weights)
+
+    def test_plasticity_metrics_published_integrally(self):
+        from repro.telemetry import MetricsRegistry
+
+        net, projection, rule = self._learning_network()
+        metrics = MetricsRegistry()
+        Simulator(net, dt=DT, seed=0).run(200, metrics=metrics)
+        snapshot = metrics.snapshot()
+        deferred = snapshot["plasticity_deferred_updates_total"]["values"][0]
+        assert deferred["labels"]["projection"] == projection.name
+        assert deferred["value"] == rule.deferred_updates > 0
+        assert type(deferred["value"]) is int
+        applied = snapshot["plasticity_applied_updates_total"]["values"][0]
+        assert applied["value"] == rule.applied_updates > 0
+        assert type(applied["value"]) is int
+        pending = snapshot["spike_queue_pending_events"]["values"]
+        assert all(type(entry["value"]) is int for entry in pending)
+        enqueued = snapshot["ring_events_enqueued_total"]["values"]
+        assert all(type(entry["value"]) is int for entry in enqueued)
+        assert sum(entry["value"] for entry in enqueued) > 0

@@ -178,3 +178,34 @@ class TestConnect:
         pre, post = _pops()
         with pytest.raises(ConfigurationError):
             connect(pre, post, probability=1.5)
+
+    def test_rejects_zero_delay_steps(self):
+        pre, post = _pops()
+        with pytest.raises(ConfigurationError, match="delay_steps"):
+            connect(pre, post, probability=1.0, delay_steps=0)
+
+    def test_rejects_negative_delay_jitter(self):
+        pre, post = _pops()
+        with pytest.raises(ConfigurationError, match="delay_jitter"):
+            connect(pre, post, probability=1.0, delay_jitter=-1)
+
+    def test_rejects_non_integer_delay_fields(self):
+        pre, post = _pops()
+        with pytest.raises(ConfigurationError, match="delay_steps"):
+            connect(pre, post, probability=1.0, delay_steps=1.5)
+        with pytest.raises(ConfigurationError, match="delay_jitter"):
+            connect(pre, post, probability=1.0, delay_jitter=True)
+
+    def test_delay_errors_name_the_endpoints(self):
+        pre, post = _pops()
+        with pytest.raises(ConfigurationError, match="'pre' -> 'post'"):
+            connect(pre, post, probability=1.0, delay_steps=-3)
+
+    def test_numpy_integer_delays_accepted(self):
+        pre, post = _pops()
+        proj = connect(
+            pre, post, probability=1.0,
+            delay_steps=np.int64(2), delay_jitter=np.int32(0),
+        )
+        assert proj.min_delay == 2
+        assert proj.max_delay == 2

@@ -7,12 +7,15 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.observability.bench import (
     BENCH_SCHEMA,
+    PLASTICITY_KIND,
     append_history,
     best_prior,
     compare_record,
     engine_seed_baselines,
     load_history,
+    make_plasticity_record,
     make_record,
+    measure_plasticity,
     measure_workload,
 )
 
@@ -238,3 +241,42 @@ class TestMeasurement:
             measure_workload("Brunel", steps=0)
         with pytest.raises(ConfigurationError):
             measure_workload("Brunel", reps=0)
+
+
+class TestPlasticityBench:
+    def test_lazy_and_dense_digests_pin_each_other(self):
+        entry = measure_plasticity("Vogels et al.", steps=300, scale=0.04)
+        assert entry["digest_match"]
+        assert entry["modes"]["lazy"]["digest"] == (
+            entry["modes"]["eager"]["digest"]
+        )
+        lazy = entry["modes"]["lazy"]
+        assert lazy["deferred_updates"] > 0
+        assert lazy["total_spikes"] > 0
+        # Cost scales with spike traffic: the lazy schedule evaluates
+        # strictly fewer traces than the dense one refreshes.
+        assert lazy["trace_refreshes"] < (
+            entry["modes"]["eager"]["trace_refreshes"]
+        )
+        assert entry["modes"]["off"]["steps_per_sec"] > 0
+
+    def test_plasticity_record_rides_history_without_polluting_it(
+        self, tmp_path
+    ):
+        record = make_plasticity_record(
+            ["Vogels et al."], steps=150, scale=0.03, progress=lambda _: None
+        )
+        assert record["kind"] == PLASTICITY_KIND
+        assert record["workloads"] == {}
+        path = str(tmp_path / "hist.jsonl")
+        append_history(path, record)
+        history = load_history(path)
+        assert len(history) == 1
+        # A plasticity record must never become a throughput baseline.
+        assert best_prior(history, "Vogels et al.", "reference") is None
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_plasticity("Brunel", steps=0)
+        with pytest.raises(ConfigurationError):
+            measure_plasticity("Brunel", reps=0)

@@ -86,6 +86,74 @@ class TestStdpInvariants:
             rule.step(empty, empty, DT)
         np.testing.assert_array_equal(projection.weights, frozen)
 
+    @given(spike_patterns)
+    @settings(max_examples=60, deadline=None)
+    def test_lazy_and_dense_modes_are_bit_identical(self, pattern):
+        # The deferred (lazy) and dense schedules share the same
+        # analytic event arithmetic; any spike pattern must therefore
+        # produce *bit-identical* weights and traces — not merely
+        # approximately equal ones.
+        lazy = PairSTDP(a_plus=0.2, a_minus=0.25, deferred=True)
+        dense = PairSTDP(a_plus=0.2, a_minus=0.25, deferred=False)
+        lazy.attach(_projection(rng_seed=7))
+        dense.attach(_projection(rng_seed=7))
+        for pre_fired, post_fired in pattern:
+            pre = np.unique(np.array(pre_fired, dtype=np.int64))
+            post = np.unique(np.array(post_fired, dtype=np.int64))
+            lazy.step(pre, post, DT)
+            dense.step(pre, post, DT)
+            np.testing.assert_array_equal(
+                lazy.projection.weights, dense.projection.weights
+            )
+            np.testing.assert_array_equal(lazy.pre_trace, dense.pre_trace)
+            np.testing.assert_array_equal(lazy.post_trace, dense.post_trace)
+        assert dense.deferred_updates == 0
+        if pattern:
+            assert lazy.trace_refreshes <= dense.trace_refreshes
+
+    @given(spike_patterns, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_lazy_trace_checkpoint_round_trip(self, pattern, cut):
+        # Snapshot mid-pattern, restore into a fresh rule, replay the
+        # tail: the resumed run must be bit-identical to the
+        # uninterrupted one — traces, timestamps, counters, weights.
+        cut = min(cut, len(pattern))
+
+        def events(chunk, rule):
+            for pre_fired, post_fired in chunk:
+                rule.step(
+                    np.unique(np.array(pre_fired, dtype=np.int64)),
+                    np.unique(np.array(post_fired, dtype=np.int64)),
+                    DT,
+                )
+
+        straight = PairSTDP(a_plus=0.2, a_minus=0.25)
+        straight.attach(_projection(rng_seed=11))
+        events(pattern, straight)
+
+        first = PairSTDP(a_plus=0.2, a_minus=0.25)
+        first.attach(_projection(rng_seed=11))
+        events(pattern[:cut], first)
+        payload = first.snapshot()
+
+        resumed = PairSTDP(a_plus=0.2, a_minus=0.25)
+        resumed.attach(_projection(rng_seed=11))
+        resumed.restore(payload)
+        events(pattern[cut:], resumed)
+
+        np.testing.assert_array_equal(
+            resumed.projection.weights, straight.projection.weights
+        )
+        np.testing.assert_array_equal(
+            resumed.pre_trace, straight.pre_trace
+        )
+        np.testing.assert_array_equal(
+            resumed.post_trace, straight.post_trace
+        )
+        assert resumed.steps_seen == straight.steps_seen
+        assert resumed.applied_updates == straight.applied_updates
+        assert resumed.deferred_updates == straight.deferred_updates
+
     @given(st.integers(min_value=0, max_value=2**31))
     @settings(max_examples=20, deadline=None)
     def test_updates_are_deterministic(self, seed):

@@ -174,6 +174,15 @@ class TestSafetyChecks:
         with pytest.raises(CheckpointError, match="version"):
             checkpoint.restore(simulator)
 
+    def test_version_1_rejection_explains_the_schema_change(self):
+        # Pre-routing-layer checkpoints lack ring event counts and lazy
+        # traces; the error should say why, not just "wrong number".
+        checkpoint = self._checkpoint()
+        checkpoint.version = 1
+        simulator = Simulator(_network(), ReferenceBackend(), dt=DT, seed=11)
+        with pytest.raises(CheckpointError, match="lazy plasticity"):
+            checkpoint.restore(simulator)
+
     def test_missing_file_is_a_checkpoint_error(self, tmp_path):
         with pytest.raises(CheckpointError, match="cannot read"):
             Checkpoint.load(str(tmp_path / "nope.ckpt"))

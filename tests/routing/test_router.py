@@ -1,0 +1,116 @@
+"""Tests for the per-population spike router."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.network import Network
+from repro.routing import SpikeRouter
+from repro.telemetry import MetricsRegistry
+
+
+def _network():
+    net = Network("routed")
+    net.add_population("a", 6, "LIF")
+    net.add_population("b", 4, "LIF")
+    net.add_population("isolated", 3, "LIF")
+    rng = np.random.default_rng(0)
+    net.connect("a", "b", probability=1.0, delay_steps=3, delay_jitter=4,
+                rng=rng)
+    net.connect("b", "b", probability=1.0, delay_steps=2, rng=rng)
+    net.connect("b", "a", probability=1.0, delay_steps=5, rng=rng)
+    return net
+
+
+class TestSizing:
+    def test_rings_sized_from_incoming_delays(self):
+        router = SpikeRouter.from_network(_network())
+        # a receives only the delay-5 projection from b.
+        assert router.ring("a").depth == 6
+        assert router.ring("a").min_delay == 5
+        # b receives delays 3..7 (jittered) from a and fixed 2 from b.
+        assert router.ring("b").depth >= 4
+        assert router.ring("b").min_delay == 2
+
+    def test_population_without_incoming_gets_minimal_ring(self):
+        router = SpikeRouter.from_network(_network())
+        ring = router.ring("isolated")
+        assert ring.depth == 2
+        assert ring.min_delay == 1
+
+    def test_unknown_population_raises_with_known_names(self):
+        router = SpikeRouter.from_network(_network())
+        with pytest.raises(SimulationError, match="isolated"):
+            router.ring("nope")
+
+
+class TestStepping:
+    def test_rotate_all_advances_every_ring(self):
+        router = SpikeRouter.from_network(_network())
+        router.ring("a").enqueue(
+            np.array([0]), np.array([1.0]), np.array([5]), 0
+        )
+        router.ring("b").enqueue(
+            np.array([1]), np.array([2.0]), np.array([2]), 0
+        )
+        assert router.pending_total() == 2
+        assert router.enqueued_total() == 2
+        for _ in range(5):
+            router.rotate_all()
+        # The delay-5 event now sits in the current bucket, consumed
+        # this step; the next rotation clears it.
+        assert router.ring("a").current_events() == 1
+        router.rotate_all()
+        assert router.pending_total() == 0
+        assert router.enqueued_total() == 2
+
+
+class TestSnapshotRestore:
+    def test_round_trip(self):
+        router = SpikeRouter.from_network(_network())
+        router.ring("b").enqueue(
+            np.array([0, 3]), np.array([0.5, 0.25]), np.array([2, 3]), 0
+        )
+        payload = router.snapshot()
+        other = SpikeRouter.from_network(_network())
+        other.restore(payload)
+        assert other.pending_total() == router.pending_total()
+        np.testing.assert_array_equal(
+            other.ring("b").flush_window(other.ring("b").depth),
+            router.ring("b").flush_window(router.ring("b").depth),
+        )
+
+    def test_restore_rejects_population_mismatch(self):
+        router = SpikeRouter.from_network(_network())
+        payload = router.snapshot()
+        del payload["isolated"]
+        with pytest.raises(SimulationError):
+            router.restore(payload)
+
+
+class TestTelemetry:
+    def test_publish_metrics_keeps_counts_integral(self):
+        router = SpikeRouter.from_network(_network())
+        router.ring("a").enqueue(
+            np.array([0]), np.array([1.0]), np.array([5]), 0
+        )
+        metrics = MetricsRegistry()
+        router.publish_metrics(metrics)
+        snapshot = metrics.snapshot()
+        enqueued = {
+            tuple(sorted(entry["labels"].items())): entry["value"]
+            for entry in snapshot["ring_events_enqueued_total"]["values"]
+        }
+        assert enqueued[(("population", "a"),)] == 1
+        assert type(enqueued[(("population", "a"),)]) is int
+        pending = {
+            entry["labels"]["population"]: entry["value"]
+            for entry in snapshot["ring_pending_events"]["values"]
+        }
+        assert pending["a"] == 1
+        assert type(pending["a"]) is int
+        horizons = {
+            entry["labels"]["population"]: entry["value"]
+            for entry in snapshot["ring_flush_horizon_steps"]["values"]
+        }
+        assert horizons["a"] == 5
