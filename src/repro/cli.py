@@ -223,7 +223,124 @@ def _runtime_health_check(simulator, status):
     return health_check, ready_check
 
 
+def _run_sharded(args) -> int:
+    """``repro run --shards N``: the fault-tolerant sharded path."""
+    from repro.errors import ConfigurationError
+    from repro.io import atomic_write_json, atomic_write_text
+    from repro.sharding import ShardChaos, ShardCoordinator
+    from repro.supervision import JobSpec, RetryPolicy
+    from repro.supervision.config import SupervisorConfig
+    from repro.workloads import get_spec
+
+    if args.resume_from:
+        raise ConfigurationError(
+            "--resume-from is the single-process resume path; sharded "
+            "runs recover through composite checkpoints instead "
+            "(--shard-checkpoint-path)"
+        )
+    spec = get_spec(args.workload)
+    job = JobSpec(
+        name=f"{args.workload}-x{args.shards}",
+        workload=args.workload,
+        backend=args.backend,
+        steps=args.steps,
+        scale=args.scale,
+        seed=args.seed,
+        dt=args.dt,
+        solver=args.solver,
+        shards=args.shards,
+    )
+    chaos = None
+    if (
+        args.chaos_shard_kill is not None
+        or args.chaos_shard_stall is not None
+    ):
+        chaos = ShardChaos(
+            shard=args.chaos_shard,
+            kill_epoch=args.chaos_shard_kill,
+            stall_epoch=args.chaos_shard_stall,
+        )
+    metrics = None
+    if args.stats_json or args.prometheus or args.serve:
+        from repro.telemetry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    status = bus = server = None
+    if args.serve:
+        from repro.observability import EventBus, StatusBoard
+
+        status = StatusBoard(state="starting")
+        bus = EventBus()
+
+        def ready_check():
+            state = status.snapshot().get("state")
+            return (
+                state in ("running", "finished", "degraded"),
+                f"sharded run state is {state!r}",
+            )
+
+        server = _start_plane(
+            args.serve, args.serve_port_file, metrics, status, bus,
+            ready_check=ready_check,
+        )
+    coordinator = ShardCoordinator(
+        job,
+        config=SupervisorConfig(),
+        retry=RetryPolicy(max_retries=args.shard_max_restarts),
+        barrier_timeout=args.barrier_timeout,
+        checkpoint_every=args.shard_checkpoint_every,
+        checkpoint_path=args.shard_checkpoint_path,
+        chaos=chaos,
+        metrics=metrics,
+        status_board=status,
+        event_bus=bus,
+    )
+    print(f"{spec}")
+    print(
+        f"sharded x{args.shards}: barrier window "
+        f"{coordinator.plan.window} step(s), "
+        f"{coordinator.n_epochs} epoch(s), composite checkpoint every "
+        f"{args.shard_checkpoint_every} epoch(s), barrier timeout "
+        f"{args.barrier_timeout:g}s, {args.shard_max_restarts} "
+        f"restart(s) per shard"
+    )
+    if chaos is not None:
+        print(
+            f"chaos: shard {chaos.shard} "
+            + (
+                f"SIGKILLs itself after epoch {chaos.kill_epoch}'s window"
+                if chaos.kill_epoch is not None
+                else f"stalls silently at epoch {chaos.stall_epoch}"
+            )
+        )
+    result = coordinator.run()
+    duration = result.n_steps * args.dt
+    print(
+        f"\n{result.total_spikes():,} spikes in {duration * 1e3:.0f} ms "
+        f"of biological time across {result.n_shards} shard(s)"
+    )
+    print(f"spike digest: {result.spike_digest}")
+    print(
+        f"restarts per shard: {result.restarts} "
+        f"({result.replayed_epochs} epoch(s) replayed)"
+    )
+    if result.degraded:
+        print("degraded to single-process execution:")
+        for event in result.diagnostics.degraded:
+            print(f"  {event.describe()}")
+    if args.stats_json:
+        atomic_write_json(args.stats_json, result.to_stats_dict())
+        print(f"wrote run statistics {args.stats_json!r}")
+    if args.prometheus:
+        atomic_write_text(args.prometheus, metrics.to_prometheus())
+        print(f"wrote Prometheus metrics {args.prometheus!r}")
+    _linger_plane(server, bus, args.serve_linger)
+    return 0
+
+
 def _cmd_run(args) -> int:
+    if args.shards > 1:
+        return _run_sharded(args)
     from repro.errors import CheckpointError, RunInterrupted
     from repro.hardware.backend import FlexonBackend, FoldedFlexonBackend
     from repro.io import atomic_write_json, atomic_write_text
@@ -363,7 +480,12 @@ def _cmd_run(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.experiments.common import format_table
     from repro.io import atomic_write_json
-    from repro.supervision import JobSpec, RetryPolicy, Supervisor
+    from repro.supervision import (
+        JobSpec,
+        RetryPolicy,
+        Supervisor,
+        SupervisorConfig,
+    )
     from repro.workloads import get_spec, workload_names
 
     names = args.workloads or list(workload_names())
@@ -379,6 +501,7 @@ def _cmd_sweep(args) -> int:
             seed=args.seed,
             dt=args.dt,
             solver=args.solver,
+            shards=args.shards,
             chaos_kill_at_step=args.chaos_kill_at,
         )
         for name in names
@@ -397,8 +520,12 @@ def _cmd_sweep(args) -> int:
         retry=RetryPolicy(
             max_retries=args.max_retries, base_delay=args.backoff_base
         ),
-        deadline_seconds=args.deadline,
-        heartbeat_timeout=args.heartbeat_timeout,
+        config=SupervisorConfig(
+            poll_interval=args.poll_interval,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            deadline_seconds=args.deadline,
+        ),
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
         seed=args.seed,
@@ -690,6 +817,8 @@ def _cmd_bench(args) -> int:
 
     if args.plasticity:
         return _bench_plasticity(args, bench)
+    if args.shards:
+        return _bench_sharding(args, bench)
     workloads = (
         [name.strip() for name in args.workloads.split(",") if name.strip()]
         if args.workloads
@@ -778,6 +907,56 @@ def _bench_plasticity(args, bench) -> int:
     return exit_code
 
 
+def _bench_sharding(args, bench) -> int:
+    """``repro bench --shards``: sharded scaling and digest parity.
+
+    Runs each workload single-process, then through the process-backed
+    coordinator at every requested shard count, recording wall times
+    into a ``kind: "sharding"`` history entry. Fails (exit 1) when any
+    sharded digest differs from the single-process oracle or any run
+    degraded — wall-clock speedup is recorded but never gated on.
+    """
+    from repro.errors import ConfigurationError
+
+    try:
+        shard_counts = [
+            int(part) for part in args.shards.split(",") if part.strip()
+        ]
+    except ValueError:
+        raise ConfigurationError(
+            f"--shards expects a comma-separated list of shard counts, "
+            f"got {args.shards!r}"
+        ) from None
+    workloads = (
+        [name.strip() for name in args.workloads.split(",") if name.strip()]
+        if args.workloads
+        else ["Brunel"]
+    )
+    steps, scale = min(args.steps, 400), args.scale
+    if args.quick:
+        steps, scale = min(steps, 200), min(scale, 0.05)
+    print(
+        f"sharding bench on {len(workloads)} workload(s): {steps} steps "
+        f"at scale {scale:g}, shard counts {shard_counts}"
+    )
+    record = bench.make_sharding_record(
+        workloads, shard_counts, steps=steps, scale=scale,
+        seed=args.seed, progress=print,
+    )
+    exit_code = 0
+    for name, entry in record["sharding"].items():
+        if not entry["digest_match"]:
+            print(
+                f"FAIL: {name}: sharded spike digest diverged from the "
+                f"single-process oracle (or a run degraded)"
+            )
+            exit_code = 1
+    if not args.no_append:
+        bench.append_history(args.history, record)
+        print(f"\nappended sharding record to {args.history!r}")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -806,6 +985,65 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--steps", type=int, default=1000)
     run.add_argument("--dt", type=float, default=DT)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="partition the network across N crash-recoverable worker "
+        "processes synchronised at min-delay barriers (0/1 = off); "
+        "spikes are bit-identical to the single-process run",
+    )
+    run.add_argument(
+        "--barrier-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="kill and restart a shard with no traffic for this long",
+    )
+    run.add_argument(
+        "--shard-checkpoint-every",
+        type=int,
+        default=1,
+        metavar="EPOCHS",
+        help="composite-checkpoint interval in barrier epochs",
+    )
+    run.add_argument(
+        "--shard-checkpoint-path",
+        default=None,
+        metavar="PATH",
+        help="atomically persist each composite checkpoint here",
+    )
+    run.add_argument(
+        "--shard-max-restarts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="restarts per shard before degrading to single-process",
+    )
+    run.add_argument(
+        "--chaos-shard-kill",
+        type=int,
+        default=None,
+        metavar="EPOCH",
+        help="chaos: the --chaos-shard SIGKILLs itself after computing "
+        "EPOCH's window (exercises restart + replay; used by CI)",
+    )
+    run.add_argument(
+        "--chaos-shard-stall",
+        type=int,
+        default=None,
+        metavar="EPOCH",
+        help="chaos: the --chaos-shard hangs silently at EPOCH "
+        "(exercises the barrier stall detector)",
+    )
+    run.add_argument(
+        "--chaos-shard",
+        type=int,
+        default=0,
+        metavar="ID",
+        help="which shard the chaos flags target (default 0)",
+    )
     run.add_argument(
         "--checkpoint-every",
         type=int,
@@ -909,6 +1147,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=15.0,
         metavar="SECONDS",
         help="kill a worker whose progress heartbeats stall this long",
+    )
+    sweep.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="wall-clock interval between worker progress heartbeats",
+    )
+    sweep.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="watchdog poll cadence on the worker pipe",
+    )
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run each job's network partitioned across N in-process "
+        "shards inside its worker (0/1 = off); digests stay "
+        "bit-identical to single-process execution",
     )
     sweep.add_argument(
         "--checkpoint-every",
@@ -1104,6 +1365,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure lazy-STDP overhead (off vs lazy vs dense) instead "
         "of raw throughput; fails if lazy and dense spike digests "
         "diverge or no trace updates were deferred",
+    )
+    bench.add_argument(
+        "--shards",
+        default=None,
+        metavar="N,M",
+        help="measure sharded scaling instead of raw throughput: run "
+        "each workload through the process-backed coordinator at these "
+        "shard counts (e.g. 2,4) and fail if any digest diverges from "
+        "the single-process oracle",
     )
     bench.add_argument(
         "--history",

@@ -97,8 +97,17 @@ class CheckpointError(ReliabilityError):
 
     Restoring verifies a structural signature (network name, population
     sizes, backend name, dt) so a checkpoint from one simulation cannot
-    silently corrupt another.
+    silently corrupt another. Load failures carry the offending
+    ``path`` and a machine-readable ``reason`` (``"not-found"``,
+    ``"truncated"``, ``"not-a-pickle"``, ``"corrupt"``,
+    ``"wrong-type"``, ``"io-error"``) so callers can distinguish a
+    missing file from a torn or poisoned one without parsing prose.
     """
+
+    def __init__(self, message: str, path: str = "", reason: str = ""):
+        super().__init__(message)
+        self.path = path
+        self.reason = reason
 
 
 class SupervisionError(ReproError):
@@ -108,6 +117,18 @@ class SupervisionError(ReproError):
     exceptions — they are classified into ``JobReport.failure_kind``
     (``timeout`` / ``crash`` / ``numerics`` / ``oom-like``) so a sweep
     survives them.
+    """
+
+
+class ShardingError(SupervisionError):
+    """Raised when a sharded run's coordination protocol breaks.
+
+    Covers wire-protocol violations between the shard coordinator and
+    its workers (out-of-order barrier epochs, malformed exchange
+    payloads) and determinism violations (a restarted shard re-sending
+    a window whose digest differs from the one the surviving shards
+    already consumed). Misconfigurations — a bad shard count, an
+    unsupported network — raise :class:`ConfigurationError` instead.
     """
 
 

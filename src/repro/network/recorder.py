@@ -9,6 +9,7 @@ single-neuron behaviours (e.g. the membrane-decay shapes of Figure 4).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
@@ -83,6 +84,21 @@ class SpikeRecorder:
             sum(chunk.size for chunk in chunks)
             for chunks in self._steps.values()
         )
+
+    def digest(self) -> str:
+        """SHA-256 over the full spike trains (bit-identity pinning).
+
+        Two recorders whose digests match hold bit-identical spikes —
+        the cheap cross-process stand-in for comparing the full trains.
+        ``repro.supervision.job.spike_digest`` delegates here.
+        """
+        digest = hashlib.sha256()
+        for population in self.populations():
+            record = self.result(population)
+            digest.update(population.encode("utf-8"))
+            digest.update(record.steps.tobytes())
+            digest.update(record.neurons.tobytes())
+        return digest.hexdigest()
 
     def snapshot(self) -> Dict[str, tuple]:
         """Everything recorded so far as ``{population: (steps, neurons)}``."""

@@ -174,6 +174,7 @@ class SimulationResult:
             "phases": phases,
             "phase_fractions": self.phase_fractions(),
             "counters": counters,
+            "spike_digest": self.spikes.digest(),
             "spikes_per_population": {
                 name: self.spikes.result(name).n_spikes
                 for name in self.spikes.populations()

@@ -38,6 +38,7 @@ _EXPORTS = {
     "CHECKPOINT_VERSION": "repro.reliability.checkpoint",
     "Checkpoint": "repro.reliability.checkpoint",
     "CheckpointHook": "repro.reliability.checkpoint",
+    "DegradedEvent": "repro.reliability.diagnostics",
     "FallbackEvent": "repro.reliability.diagnostics",
     "FallbackRuntime": "repro.reliability.fallback",
     "FaultInjector": "repro.reliability.faults",

@@ -192,17 +192,64 @@ class Checkpoint:
 
     @classmethod
     def load(cls, path: str) -> "Checkpoint":
-        """Read a checkpoint written by :meth:`save` (trusted input)."""
+        """Read a checkpoint written by :meth:`save` (trusted input).
+
+        Every failure mode raises :class:`CheckpointError` carrying the
+        ``path`` and a machine-readable ``reason`` — a truncated file
+        (torn copy), a non-pickle file, a pickle of the wrong type, or
+        a plain I/O error — never a bare ``EOFError`` or
+        ``UnpicklingError`` from the pickle internals.
+        """
         try:
             with open(path, "rb") as handle:
                 checkpoint = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError) as error:
+        except FileNotFoundError as error:
             raise CheckpointError(
-                f"cannot read checkpoint {path!r}: {error}"
+                f"checkpoint {path!r} does not exist",
+                path=str(path),
+                reason="not-found",
+            ) from error
+        except EOFError as error:
+            raise CheckpointError(
+                f"checkpoint {path!r} is truncated: {error}",
+                path=str(path),
+                reason="truncated",
+            ) from error
+        except pickle.UnpicklingError as error:
+            raise CheckpointError(
+                f"checkpoint {path!r} is not a valid pickle: {error}",
+                path=str(path),
+                reason="not-a-pickle",
+            ) from error
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {path!r}: {error}",
+                path=str(path),
+                reason="io-error",
+            ) from error
+        except (
+            # A corrupt or alien pickle stream can surface as almost
+            # anything while object graphs rebuild: bad opcodes decode
+            # to missing names, wrong argument counts, stray indices…
+            AttributeError,
+            ImportError,
+            IndexError,
+            KeyError,
+            TypeError,
+            ValueError,
+        ) as error:
+            raise CheckpointError(
+                f"checkpoint {path!r} is corrupt: "
+                f"{type(error).__name__}: {error}",
+                path=str(path),
+                reason="corrupt",
             ) from error
         if not isinstance(checkpoint, cls):
             raise CheckpointError(
-                f"{path!r} does not contain a checkpoint"
+                f"{path!r} does not contain a checkpoint "
+                f"(got {type(checkpoint).__name__})",
+                path=str(path),
+                reason="wrong-type",
             )
         return checkpoint
 

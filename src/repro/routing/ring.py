@@ -90,6 +90,35 @@ class DelayRing:
         np.add.at(self._counts, slots, 1)
         self.enqueued_events += post_idx.size
 
+    def deposit(
+        self,
+        post_idx: np.ndarray,
+        weights: np.ndarray,
+        offsets: np.ndarray,
+        syn_type: int,
+    ) -> None:
+        """Accumulate weights at absolute bucket offsets from the head.
+
+        Unlike :meth:`enqueue`, offset 0 (the current bucket) is legal:
+        a sharded barrier replays the *previous* window's spikes after
+        the fact, so an arrival that would have been enqueued ``w``
+        steps ago with delay ``d`` now lands at offset ``d - w >= 0``.
+        The accumulation is element-wise ``np.add.at``, exactly as
+        :meth:`enqueue` performs it, so a replay that presents arrivals
+        in the original enqueue order reproduces bit-identical sums.
+        """
+        if post_idx.size == 0:
+            return
+        if np.any(offsets < 0) or np.any(offsets >= self.depth):
+            raise SimulationError(
+                f"deposit offset out of range 0..{self.depth - 1} "
+                "for this ring"
+            )
+        slots = (self._head + offsets) % self.depth
+        np.add.at(self._ring, (slots, syn_type, post_idx), weights)
+        np.add.at(self._counts, slots, 1)
+        self.enqueued_events += post_idx.size
+
     def enqueue_now(
         self, post_idx: np.ndarray, weights: np.ndarray, syn_type: int
     ) -> None:

@@ -36,13 +36,16 @@ class SpikeRouter:
     def __init__(self, rings: Dict[str, DelayRing]):
         self._rings = dict(rings)
 
-    @classmethod
-    def from_network(cls, network: "Network") -> "SpikeRouter":
-        """Build per-population rings sized from actual incoming delays.
+    @staticmethod
+    def delay_bounds(network: "Network") -> Dict[str, tuple]:
+        """Per-population ``(min, max)`` incoming synaptic delay bounds.
 
-        Populations with no incoming projection still get a minimal
-        ring (depth 2, min_delay 1): stimuli inject into the current
-        bucket and the neuron phase always consumes one.
+        Populations with no incoming projection are absent; callers
+        default them to ``(1, 1)``. Exposed separately from
+        :meth:`from_network` because a shard slicing a population must
+        size its partial ring from the *full* network's bounds — the
+        subset of projections that happens to land on the slice could
+        otherwise disagree with the ring geometry of the whole.
         """
         bounds: Dict[str, tuple] = {}
         for projection in network.projections:
@@ -51,6 +54,17 @@ class SpikeRouter:
             p_lo, p_hi = projection.min_delay, projection.max_delay
             lo = p_lo if lo is None else min(lo, p_lo)
             bounds[name] = (lo, max(hi, p_hi))
+        return bounds
+
+    @classmethod
+    def from_network(cls, network: "Network") -> "SpikeRouter":
+        """Build per-population rings sized from actual incoming delays.
+
+        Populations with no incoming projection still get a minimal
+        ring (depth 2, min_delay 1): stimuli inject into the current
+        bucket and the neuron phase always consumes one.
+        """
+        bounds = cls.delay_bounds(network)
         rings = {}
         for name, population in network.populations.items():
             min_delay, max_delay = bounds.get(name, (1, 1))
@@ -101,12 +115,69 @@ class SpikeRouter:
         return {name: ring.snapshot() for name, ring in self._rings.items()}
 
     def restore(self, payload: Dict[str, dict]) -> None:
-        if set(payload) != set(self._rings):
+        """Restore every ring, validating shape *here*, by name.
+
+        Mismatches raise with the offending population and field in the
+        message instead of surfacing as an anonymous array-shape error
+        deep inside :class:`DelayRing`.
+        """
+        missing = sorted(set(self._rings) - set(payload))
+        unexpected = sorted(set(payload) - set(self._rings))
+        if missing or unexpected:
             raise SimulationError(
-                "snapshot populations do not match this router's"
+                "router snapshot population mismatch: "
+                f"missing={missing or '[]'} unexpected={unexpected or '[]'}"
             )
-        for name, ring_payload in payload.items():
-            self._rings[name].restore(ring_payload)
+        for name, ring in self._rings.items():
+            self._validate_ring_payload(name, ring, payload[name])
+        for name, ring in self._rings.items():
+            ring.restore(payload[name])
+
+    @staticmethod
+    def _validate_ring_payload(
+        name: str, ring: DelayRing, ring_payload: dict
+    ) -> None:
+        if not isinstance(ring_payload, dict):
+            raise SimulationError(
+                f"population {name!r}: ring snapshot must be a dict, "
+                f"got {type(ring_payload).__name__}"
+            )
+        for field in ("ring", "head"):
+            if field not in ring_payload:
+                raise SimulationError(
+                    f"population {name!r}: ring snapshot missing "
+                    f"field {field!r}"
+                )
+        shape = tuple(
+            int(s) for s in getattr(ring_payload["ring"], "shape", ())
+        )
+        if len(shape) != 3:
+            raise SimulationError(
+                f"population {name!r}: ring snapshot must be "
+                f"3-dimensional, got shape {shape}"
+            )
+        depth, n_syn, n = shape
+        if depth != ring.depth:
+            raise SimulationError(
+                f"population {name!r}: ring depth mismatch — snapshot "
+                f"has {depth} buckets, this router expects {ring.depth}"
+            )
+        if n_syn != ring.n_synapse_types:
+            raise SimulationError(
+                f"population {name!r}: synapse-type mismatch — snapshot "
+                f"has {n_syn}, this router expects {ring.n_synapse_types}"
+            )
+        if n != ring.n:
+            raise SimulationError(
+                f"population {name!r}: size mismatch — snapshot holds "
+                f"{n} neurons, this router expects {ring.n}"
+            )
+        head = int(ring_payload["head"])
+        if not 0 <= head < ring.depth:
+            raise SimulationError(
+                f"population {name!r}: snapshot head {head} out of "
+                f"range 0..{ring.depth - 1}"
+            )
 
     # -- telemetry ---------------------------------------------------------
 

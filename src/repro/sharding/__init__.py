@@ -1,0 +1,69 @@
+"""Fault-tolerant sharded simulation: one network across workers.
+
+The layer cuts one :class:`~repro.network.network.Network` into
+contiguous per-population slices (:class:`ShardPlan`), steps each slice
+in min-delay windows with the synapse phase deferred to a barrier
+(:class:`ShardRunner`), and coordinates N crash-recoverable worker
+processes through that barrier (:class:`ShardCoordinator`) — with
+composite checkpoints, kill-and-restart recovery, and graceful
+degradation to single-process execution. The merged spike trains are
+bit-identical to the single-process simulator, including across
+restarts (property-tested).
+
+:func:`simulate_sharded` runs the same protocol with every shard
+in-process — the vehicle for daemonic sweep workers and cheap
+property-test sweeps.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "CompositeCheckpoint": "repro.sharding.checkpoint",
+    "InlineShardResult": "repro.sharding.runner",
+    "ShardChaos": "repro.sharding.coordinator",
+    "ShardCoordinator": "repro.sharding.coordinator",
+    "ShardPlan": "repro.sharding.plan",
+    "ShardRunner": "repro.sharding.runner",
+    "ShardedRunResult": "repro.sharding.coordinator",
+    "merge_spikes": "repro.sharding.runner",
+    "merge_windows": "repro.sharding.runner",
+    "simulate_sharded": "repro.sharding.runner",
+    "window_digest": "repro.sharding.runner",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.sharding.checkpoint import CompositeCheckpoint
+    from repro.sharding.coordinator import (
+        ShardChaos,
+        ShardCoordinator,
+        ShardedRunResult,
+    )
+    from repro.sharding.plan import ShardPlan
+    from repro.sharding.runner import (
+        InlineShardResult,
+        ShardRunner,
+        merge_spikes,
+        merge_windows,
+        simulate_sharded,
+        window_digest,
+    )
+
+
+def __getattr__(name: str):
+    """Lazy exports (PEP 562): keep ``import repro.sharding`` light."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,148 @@
+"""Composite checkpoints: N shard snapshots composed into one artifact.
+
+At a barrier epoch every shard's state is, by construction, a pure
+function of (network, plan, backend, seed, steps so far) — the barrier
+is the only point where cross-shard information flows, so the instant
+all shards have acknowledged epoch ``e`` their individual snapshots
+form one globally consistent cut. The coordinator composes them into a
+:class:`CompositeCheckpoint` and persists it through the same
+crash-safe :func:`repro.io.atomic_writer` discipline as single-process
+checkpoints: a SIGKILL mid-save leaves the previous artifact, never a
+truncated one.
+
+The ``signature`` block pins everything that must match for a resume
+to be meaningful — the plan identity (network name, population sizes,
+shard count, barrier window) plus the run parameters (backend, dt,
+steps, workload, scale, seed). ``load`` raises the same structured
+:class:`~repro.errors.CheckpointError` taxonomy as
+:meth:`repro.reliability.checkpoint.Checkpoint.load` (``not-found``,
+``truncated``, ``not-a-pickle``, ``corrupt``, ``wrong-type``,
+``io-error``), so callers can tell a missing artifact from a damaged
+one without parsing message strings.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import CheckpointError
+from repro.io import atomic_writer
+
+__all__ = ["COMPOSITE_VERSION", "CompositeCheckpoint"]
+
+#: Bumped when the composite payload layout changes.
+COMPOSITE_VERSION = 1
+
+
+@dataclass
+class CompositeCheckpoint:
+    """One resumable artifact covering every shard at one barrier epoch."""
+
+    #: Plan + run identity (see module docstring); a resume must match.
+    signature: Dict[str, object]
+    #: Last fully acknowledged barrier epoch.
+    epoch: int
+    #: Global step count at that barrier (``(epoch + 1) * window``,
+    #: clamped to the run length).
+    step: int
+    #: ``{shard_id: ShardRunner.snapshot() payload}`` for every shard.
+    shards: Dict[int, dict] = field(default_factory=dict)
+    version: int = COMPOSITE_VERSION
+
+    def to_payload(self) -> dict:
+        return {
+            "version": self.version,
+            "signature": dict(self.signature),
+            "epoch": self.epoch,
+            "step": self.step,
+            "shards": dict(self.shards),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CompositeCheckpoint":
+        if payload.get("version") != COMPOSITE_VERSION:
+            raise CheckpointError(
+                f"composite checkpoint version {payload.get('version')!r} "
+                f"not supported (expected {COMPOSITE_VERSION})",
+                reason="corrupt",
+            )
+        return cls(
+            signature=dict(payload["signature"]),
+            epoch=int(payload["epoch"]),
+            step=int(payload["step"]),
+            shards={int(k): v for k, v in payload["shards"].items()},
+        )
+
+    def save(self, path) -> None:
+        """Atomically persist (crash leaves the previous artifact)."""
+        try:
+            with atomic_writer(path, "wb") as handle:
+                pickle.dump(
+                    self.to_payload(), handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot write composite checkpoint {path}: {error}",
+                path=str(path), reason="io-error",
+            ) from error
+
+    @classmethod
+    def load(cls, path) -> "CompositeCheckpoint":
+        """Load and validate, raising structured :class:`CheckpointError`."""
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"no composite checkpoint at {path}",
+                path=str(path), reason="not-found",
+            ) from None
+        except EOFError as error:
+            raise CheckpointError(
+                f"composite checkpoint {path} is truncated "
+                "(the run was killed mid-write before atomic rename?)",
+                path=str(path), reason="truncated",
+            ) from error
+        except pickle.UnpicklingError as error:
+            raise CheckpointError(
+                f"composite checkpoint {path} is not a pickle: {error}",
+                path=str(path), reason="not-a-pickle",
+            ) from error
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read composite checkpoint {path}: {error}",
+                path=str(path), reason="io-error",
+            ) from error
+        except (AttributeError, ImportError, IndexError, KeyError,
+                TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"composite checkpoint {path} is corrupt "
+                f"({type(error).__name__}: {error})",
+                path=str(path), reason="corrupt",
+            ) from error
+        if not isinstance(payload, dict):
+            raise CheckpointError(
+                f"composite checkpoint {path} holds a "
+                f"{type(payload).__name__}, not a checkpoint payload",
+                path=str(path), reason="wrong-type",
+            )
+        try:
+            return cls.from_payload(payload)
+        except CheckpointError as error:
+            raise CheckpointError(
+                str(error), path=str(path),
+                reason=error.reason or "corrupt",
+            ) from None
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"composite checkpoint {path} is corrupt "
+                f"({type(error).__name__}: {error})",
+                path=str(path), reason="corrupt",
+            ) from error
+
+    def matches(self, signature: Dict[str, object]) -> bool:
+        """Does this artifact belong to the given plan/run identity?"""
+        return self.signature == signature

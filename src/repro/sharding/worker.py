@@ -1,0 +1,249 @@
+"""The shard worker: one shard's windowed loop in one spawned process.
+
+:func:`shard_worker_entry` is the ``multiprocessing`` target for one
+shard of a :class:`~repro.sharding.coordinator.ShardCoordinator` run.
+Like the supervised job worker it is spawn-safe: the process receives
+nothing but a pipe connection (plus the capture path for stdout/stderr
+redirection), and the first message carries everything else. Wire
+protocol, worker → coordinator:
+
+``("started", {...})``
+    Sent once the runner is built (and a resume snapshot restored),
+    with the step the shard will continue from.
+``("heartbeat", {"step": ..., "phase": ...})``
+    Throttled progress signal, emitted from inside long windows via
+    :meth:`ShardRunner.run_window`'s ``on_step`` seam — the
+    coordinator's stall detector feeds on any inbound traffic, so a
+    shard grinding through a big window is never mistaken for hung.
+``("window", {"epoch": ..., "fired": ..., "digest": ..., "step": ...})``
+    The shard's window payload for one barrier epoch: per-population
+    per-step global fired indices plus its SHA-256 digest (the
+    coordinator uses the digest to verify a restarted shard re-produces
+    byte-identical history).
+``("checkpoint", {"epoch": ..., "state": ...})``
+    The shard's full snapshot at a composite-checkpoint barrier.
+``("done", {...})``
+    Final step count and the shard's recorder snapshot for the merge.
+``("failed", {...})``
+    A structured failure the worker caught itself.
+
+Coordinator → worker, after each ``window``:
+
+``("exchange", {"epoch": ..., "fired": ...})``
+    The merged fired lists of all shards for that epoch — replayed
+    through the shard's sub-projections by
+    :meth:`ShardRunner.apply_exchange`.
+``("stop", {})``
+    Orderly shutdown (degradation or coordinator teardown).
+
+The ``chaos`` block of the init payload makes the worker sabotage
+itself at a chosen barrier epoch — SIGKILL right after computing a
+window (so the coordinator must restart it and replay history), or a
+silent stall before sending (so the barrier timeout must fire). Both
+apply only on the configured attempt so the restarted worker succeeds.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+from typing import Optional
+
+from repro.supervision.job import JobSpec
+from repro.supervision.worker import (
+    HEARTBEAT_INTERVAL,
+    _build_backend,
+    _redirect_output,
+)
+
+__all__ = ["shard_worker_entry"]
+
+
+class _ShardHeartbeat:
+    """Throttled heartbeat sender (pipe-tolerant, wall-clock gated)."""
+
+    def __init__(self, conn, interval: float = HEARTBEAT_INTERVAL) -> None:
+        self.conn = conn
+        self.interval = interval
+        self._last = time.monotonic()
+        self._broken = False
+
+    def beat(self, step: int, phase: str = "window") -> None:
+        now = time.monotonic()
+        if now - self._last < self.interval:
+            return
+        self._last = now
+        if self._broken:
+            return
+        try:
+            self.conn.send(("heartbeat", {"step": step, "phase": phase}))
+        except (BrokenPipeError, OSError):
+            self._broken = True
+
+
+def _build_runner(spec: JobSpec, plan_payload: dict, shard: int):
+    """Network + plan + backend + runner for one shard (deterministic).
+
+    Seeding follows the repo convention: network with ``spec.seed``,
+    runner (stimulus RNG) with ``spec.seed + 1`` — every shard holds an
+    identical RNG stream, which is what keeps full-size stimulus draws
+    in lockstep with the single-process simulator.
+    """
+    from repro.sharding.plan import ShardPlan
+    from repro.sharding.runner import ShardRunner
+    from repro.workloads import build_workload, get_spec
+
+    workload_spec = get_spec(spec.workload)
+    solver_name = spec.solver or workload_spec.solver
+    network = build_workload(spec.workload, scale=spec.scale, seed=spec.seed)
+    plan = ShardPlan.from_payload(plan_payload, network)
+    backend = _build_backend(spec, solver_name)
+    runner = ShardRunner(
+        network, plan, shard, backend, dt=spec.dt, seed=spec.seed + 1
+    )
+    return runner, plan
+
+
+def shard_worker_entry(conn, capture_path: Optional[str] = None) -> None:
+    """Process target: run one shard's barrier loop against ``conn``."""
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    if capture_path:
+        _redirect_output(capture_path)
+    payload = conn.recv()
+    spec = JobSpec.from_payload(payload["spec"])
+    shard = int(payload["shard"])
+    attempt = int(payload.get("attempt", 0))
+    resume = payload.get("resume")
+    heartbeat_interval = float(
+        payload.get("heartbeat_interval", HEARTBEAT_INTERVAL)
+    )
+    checkpoint_every = int(payload.get("checkpoint_every", 1))
+    chaos = payload.get("chaos") or {}
+    chaos_armed = attempt == int(chaos.get("attempt", 0))
+    chaos_kill_epoch = chaos.get("kill_epoch")
+    chaos_stall_epoch = chaos.get("stall_epoch")
+
+    from repro.errors import ShardingError
+    from repro.sharding.runner import window_digest
+
+    step = -1
+    try:
+        runner, plan = _build_runner(spec, payload["plan"], shard)
+        if resume is not None:
+            runner.restore(resume)
+        step = runner.step
+        if step % plan.window:
+            raise ShardingError(
+                f"shard {shard} resumed at step {step}, which is not a "
+                f"barrier boundary (window={plan.window})"
+            )
+        start_epoch = step // plan.window
+        expected_start = int(payload.get("start_epoch", start_epoch))
+        if start_epoch != expected_start:
+            raise ShardingError(
+                f"shard {shard} resumed at epoch {start_epoch}, "
+                f"coordinator expected epoch {expected_start}"
+            )
+        conn.send(
+            ("started", {
+                "pid": os.getpid(),
+                "shard": shard,
+                "attempt": attempt,
+                "step": step,
+                "start_epoch": start_epoch,
+            })
+        )
+        heartbeat = _ShardHeartbeat(conn, heartbeat_interval)
+        n_epochs = plan.epochs_for(spec.steps)
+        for epoch in range(start_epoch, n_epochs):
+            length = plan.window_length(epoch, spec.steps)
+            window = runner.run_window(
+                length, on_step=lambda s: heartbeat.beat(s)
+            )
+            step = runner.step
+            if chaos_armed and epoch == chaos_kill_epoch:
+                # Die *after* the window is computed but *before* it is
+                # sent: the worst moment — the coordinator has nothing
+                # from this shard for this epoch and must restart it.
+                os.kill(os.getpid(), signal.SIGKILL)
+            if chaos_armed and epoch == chaos_stall_epoch:
+                while True:  # pragma: no cover - killed by the watchdog
+                    time.sleep(3600)
+            conn.send(
+                ("window", {
+                    "epoch": epoch,
+                    "shard": shard,
+                    "fired": window,
+                    "digest": window_digest(window),
+                    "step": step,
+                })
+            )
+            kind, body = conn.recv()
+            if kind == "stop":
+                conn.send(("stopped", {"shard": shard, "step": step}))
+                return
+            if kind != "exchange":
+                raise ShardingError(
+                    f"shard {shard} expected an exchange for epoch "
+                    f"{epoch}, got {kind!r}"
+                )
+            if body.get("epoch") != epoch:
+                raise ShardingError(
+                    f"shard {shard} got an exchange for epoch "
+                    f"{body.get('epoch')!r} while waiting on {epoch}"
+                )
+            runner.apply_exchange(body["fired"], length)
+            if (
+                checkpoint_every
+                and (epoch + 1) % checkpoint_every == 0
+                and epoch + 1 < n_epochs
+            ):
+                conn.send(
+                    ("checkpoint", {
+                        "epoch": epoch,
+                        "shard": shard,
+                        "state": runner.snapshot(),
+                    })
+                )
+        conn.send(
+            ("done", {
+                "shard": shard,
+                "steps": runner.step,
+                "total_spikes": runner.recorder.total_spikes(),
+                "spikes": runner.recorder.snapshot(),
+            })
+        )
+    except MemoryError as error:
+        _send_failure(conn, "oom-like", error, shard, step)
+        sys.exit(1)
+    except BaseException as error:  # noqa: BLE001 - classified, reported
+        _send_failure(conn, "crash", error, shard, step)
+        sys.exit(1)
+    finally:
+        conn.close()
+
+
+def _send_failure(conn, kind: str, error: BaseException, shard: int,
+                  step: int) -> None:
+    """Traceback to stderr (the capture file) + structured message."""
+    import traceback
+
+    traceback.print_exc(file=sys.stderr)
+    sys.stderr.flush()
+    try:
+        conn.send(
+            ("failed", {
+                "kind": kind,
+                "shard": shard,
+                "error": repr(error),
+                "step": step,
+                "traceback": traceback.format_exc(),
+            })
+        )
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+        pass

@@ -39,6 +39,7 @@ _EXPORTS = {
     "JobSpec": "repro.supervision.job",
     "RetryPolicy": "repro.supervision.backoff",
     "Supervisor": "repro.supervision.supervisor",
+    "SupervisorConfig": "repro.supervision.config",
     "SweepReport": "repro.supervision.job",
     "graceful_signals": "repro.supervision.interrupt",
     "run_job_inline": "repro.supervision.worker",

@@ -66,13 +66,14 @@ from repro.errors import SupervisionError
 from repro.observability.log import StructuredLogger, merge_records, new_run_id
 from repro.observability.recorder import FlightRecorder
 from repro.supervision.backoff import RetryPolicy
+from repro.supervision.config import SupervisorConfig
 from repro.supervision.job import (
     AttemptReport,
     JobReport,
     JobSpec,
     SweepReport,
 )
-from repro.supervision.worker import HEARTBEAT_INTERVAL, worker_entry
+from repro.supervision.worker import worker_entry
 
 __all__ = ["Supervisor"]
 
@@ -96,6 +97,12 @@ class Supervisor:
         Concurrent jobs (each job still runs its attempts serially).
     retry:
         The :class:`RetryPolicy`; defaults to 2 retries, 0.5 s base.
+    config:
+        A :class:`SupervisorConfig` bundling the watchdog timings
+        (poll/heartbeat intervals, heartbeat timeout, default
+        deadline). Individual keyword arguments below override the
+        bundled values; both default to :class:`SupervisorConfig`'s
+        defaults, so existing call sites are unchanged.
     deadline_seconds:
         Default per-job wall-clock deadline (a spec may override).
     heartbeat_timeout:
@@ -128,19 +135,29 @@ class Supervisor:
         *,
         workers: int = 1,
         retry: Optional[RetryPolicy] = None,
-        deadline_seconds: float = 120.0,
-        heartbeat_timeout: float = 15.0,
-        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        config: Optional[SupervisorConfig] = None,
+        deadline_seconds: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
         checkpoint_every: int = 50,
         checkpoint_dir: Optional[str] = None,
         breaker_threshold: int = 2,
         metrics=None,
         seed: int = 0,
-        poll_interval: float = 0.05,
+        poll_interval: Optional[float] = None,
         run_id: Optional[str] = None,
         status_board=None,
         event_bus=None,
     ) -> None:
+        config = config if config is not None else SupervisorConfig()
+        if deadline_seconds is None:
+            deadline_seconds = config.deadline_seconds
+        if heartbeat_timeout is None:
+            heartbeat_timeout = config.heartbeat_timeout
+        if heartbeat_interval is None:
+            heartbeat_interval = config.heartbeat_interval
+        if poll_interval is None:
+            poll_interval = config.poll_interval
         if workers < 1:
             raise SupervisionError(f"workers must be >= 1, got {workers}")
         if deadline_seconds <= 0:
@@ -163,8 +180,13 @@ class Supervisor:
             from repro.telemetry import MetricsRegistry
 
             metrics = MetricsRegistry()
+        if poll_interval <= 0:
+            raise SupervisionError(
+                f"poll_interval must be positive, got {poll_interval}"
+            )
         self.workers = workers
         self.retry = retry if retry is not None else RetryPolicy()
+        self.config = config
         self.deadline_seconds = deadline_seconds
         self.heartbeat_timeout = heartbeat_timeout
         self.heartbeat_interval = heartbeat_interval

@@ -184,16 +184,51 @@ class TestSafetyChecks:
             checkpoint.restore(simulator)
 
     def test_missing_file_is_a_checkpoint_error(self, tmp_path):
-        with pytest.raises(CheckpointError, match="cannot read"):
-            Checkpoint.load(str(tmp_path / "nope.ckpt"))
+        path = str(tmp_path / "nope.ckpt")
+        with pytest.raises(CheckpointError, match="does not exist") as info:
+            Checkpoint.load(path)
+        assert info.value.path == path
+        assert info.value.reason == "not-found"
 
     def test_non_checkpoint_file_rejected(self, tmp_path):
         import pickle
 
         path = tmp_path / "junk.ckpt"
         path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
-        with pytest.raises(CheckpointError, match="does not contain"):
+        with pytest.raises(CheckpointError, match="does not contain") as info:
             Checkpoint.load(str(path))
+        assert info.value.reason == "wrong-type"
+
+    def test_truncated_file_names_path_and_reason(self, tmp_path):
+        # A torn copy of a real checkpoint: valid pickle prefix, missing
+        # tail. Must surface as a structured error, not a bare EOFError.
+        import pickle
+
+        path = tmp_path / "torn.ckpt"
+        self._checkpoint().save(str(path))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError) as info:
+            Checkpoint.load(str(path))
+        assert info.value.path == str(path)
+        assert info.value.reason in ("truncated", "not-a-pickle", "corrupt")
+        assert not isinstance(info.value, (EOFError, pickle.UnpicklingError))
+
+    def test_non_pickle_file_names_path_and_reason(self, tmp_path):
+        path = tmp_path / "noise.ckpt"
+        path.write_bytes(b"definitely not a pickle stream")
+        with pytest.raises(CheckpointError) as info:
+            Checkpoint.load(str(path))
+        assert info.value.path == str(path)
+        assert info.value.reason in ("not-a-pickle", "truncated", "corrupt")
+
+    def test_empty_file_is_truncated(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointError) as info:
+            Checkpoint.load(str(path))
+        assert info.value.reason == "truncated"
+        assert info.value.path == str(path)
 
     def test_save_is_atomic_no_temp_residue(self, tmp_path):
         checkpoint = self._checkpoint()

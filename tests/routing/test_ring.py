@@ -117,6 +117,82 @@ class TestFlushWindow:
         with pytest.raises(SimulationError):
             ring.flush_events(ring.depth + 1)
 
+    def test_min_delay_equal_to_max_delay(self):
+        # The degenerate single-delay network: the flush horizon spans
+        # every bucket but the newest (depth - 1 of them), and the
+        # window still equals the future pops bucket-for-bucket.
+        ring = DelayRing(4, 2, 3, min_delay=3)
+        assert ring.depth == 4
+        assert ring.flush_horizon == ring.depth - 1
+        _enqueue(ring, 0, 1.5, 3, syn_type=1)
+        _enqueue(ring, 2, -0.5, 3)
+        window = ring.flush_window()
+        events = ring.flush_events()
+        assert window.shape == (3, 2, 4)
+        for offset in range(3):
+            np.testing.assert_array_equal(window[offset], ring.current())
+            assert events[offset] == ring.current_events()
+            ring.rotate()
+
+    def test_explicit_full_depth_window(self):
+        # horizon == depth is legal (a whole-ring snapshot view) even
+        # though the newest bucket can still receive traffic.
+        ring = DelayRing(3, 1, 4, min_delay=2)
+        for delay in (1, 2, 3, 4):
+            _enqueue(ring, delay % 3, float(delay), delay)
+        window = ring.flush_window(ring.depth)
+        events = ring.flush_events(ring.depth)
+        assert window.shape == (ring.depth, 1, 3)
+        assert events.shape == (ring.depth,)
+        assert events.sum() == 4
+        for offset in range(ring.depth):
+            np.testing.assert_array_equal(window[offset], ring.current())
+            ring.rotate()
+
+    def test_flush_after_restore_at_rotation_offsets(self):
+        # A restored ring must flush the same window the original
+        # would, wherever the head happens to sit — the property the
+        # sharded resume path leans on.
+        for rotations in range(6):
+            ring = DelayRing(5, 2, 5, min_delay=2)
+            rng = np.random.default_rng(rotations)
+            for _ in range(rotations):
+                _enqueue(
+                    ring,
+                    int(rng.integers(0, 5)),
+                    float(rng.random()),
+                    int(rng.integers(1, 6)),
+                    int(rng.integers(0, 2)),
+                )
+                ring.rotate()
+            other = DelayRing(5, 2, 5, min_delay=2)
+            other.restore(ring.snapshot())
+            np.testing.assert_array_equal(
+                other.flush_window(), ring.flush_window()
+            )
+            np.testing.assert_array_equal(
+                other.flush_events(), ring.flush_events()
+            )
+            # ...and they evolve identically afterwards.
+            ring.rotate()
+            other.rotate()
+            np.testing.assert_array_equal(other.current(), ring.current())
+            assert other.current_events() == ring.current_events()
+
+    def test_empty_window_is_all_zero(self):
+        ring = DelayRing(4, 2, 6, min_delay=3)
+        window = ring.flush_window()
+        events = ring.flush_events()
+        assert window.shape == (3, 2, 4)
+        assert not window.any()
+        assert events.shape == (3,)
+        assert not events.any()
+        # Consuming an empty window leaves the accounting at zero.
+        for _ in range(3):
+            ring.rotate()
+        assert ring.pending_total() == 0
+        assert ring.enqueued_events == 0
+
 
 class TestSnapshotRestore:
     def test_round_trip(self):

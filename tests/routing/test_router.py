@@ -84,8 +84,69 @@ class TestSnapshotRestore:
         router = SpikeRouter.from_network(_network())
         payload = router.snapshot()
         del payload["isolated"]
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError, match="isolated"):
             router.restore(payload)
+
+    def test_restore_rejects_unexpected_population(self):
+        router = SpikeRouter.from_network(_network())
+        payload = router.snapshot()
+        payload["ghost"] = payload["a"]
+        with pytest.raises(SimulationError, match="ghost"):
+            router.restore(payload)
+
+    def test_restore_names_population_on_non_dict_payload(self):
+        router = SpikeRouter.from_network(_network())
+        payload = router.snapshot()
+        payload["b"] = [1, 2, 3]
+        with pytest.raises(SimulationError, match="'b'.*must be a dict"):
+            router.restore(payload)
+
+    def test_restore_names_population_on_missing_field(self):
+        router = SpikeRouter.from_network(_network())
+        payload = router.snapshot()
+        del payload["a"]["head"]
+        with pytest.raises(SimulationError, match="'a'.*'head'"):
+            router.restore(payload)
+
+    def test_restore_names_population_on_depth_mismatch(self):
+        router = SpikeRouter.from_network(_network())
+        payload = router.snapshot()
+        ring = payload["b"]["ring"]
+        payload["b"]["ring"] = np.zeros((ring.shape[0] + 2,) + ring.shape[1:])
+        with pytest.raises(SimulationError, match="'b'.*depth mismatch"):
+            router.restore(payload)
+
+    def test_restore_names_population_on_size_mismatch(self):
+        router = SpikeRouter.from_network(_network())
+        payload = router.snapshot()
+        ring = payload["a"]["ring"]
+        payload["a"]["ring"] = np.zeros(ring.shape[:2] + (ring.shape[2] + 1,))
+        with pytest.raises(SimulationError, match="'a'.*size mismatch"):
+            router.restore(payload)
+
+    def test_restore_names_population_on_bad_head(self):
+        router = SpikeRouter.from_network(_network())
+        payload = router.snapshot()
+        payload["b"]["head"] = router.ring("b").depth
+        with pytest.raises(SimulationError, match="'b'.*head"):
+            router.restore(payload)
+
+    def test_failed_validation_mutates_nothing(self):
+        # Validation happens for every ring before any restore touches
+        # state: a payload bad in one population leaves the whole
+        # router untouched, not half-restored.
+        router = SpikeRouter.from_network(_network())
+        router.ring("a").enqueue(
+            np.array([1]), np.array([3.0]), np.array([5]), 0
+        )
+        payload = router.snapshot()
+        payload["isolated"]["head"] = 99
+        before = router.ring("a").flush_window(router.ring("a").depth).copy()
+        with pytest.raises(SimulationError, match="'isolated'"):
+            router.restore(payload)
+        np.testing.assert_array_equal(
+            router.ring("a").flush_window(router.ring("a").depth), before
+        )
 
 
 class TestTelemetry:

@@ -1,0 +1,85 @@
+"""Tests for composite (all-shard) checkpoint files."""
+
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.sharding.checkpoint import CompositeCheckpoint
+
+
+def _checkpoint():
+    return CompositeCheckpoint(
+        signature={"network": "net", "n_shards": 2, "window": 3},
+        epoch=4,
+        step=15,
+        shards={0: {"step": 15}, 1: {"step": 15}},
+    )
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "composite.ckpt")
+        original = _checkpoint()
+        original.save(path)
+        loaded = CompositeCheckpoint.load(path)
+        assert loaded.epoch == original.epoch
+        assert loaded.step == original.step
+        assert loaded.shards == original.shards
+        assert loaded.matches(original.signature)
+        assert not loaded.matches({"network": "other"})
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        path = tmp_path / "composite.ckpt"
+        _checkpoint().save(str(path))
+        _checkpoint().save(str(path))
+        assert [p.name for p in tmp_path.iterdir()] == ["composite.ckpt"]
+
+    def test_shard_keys_survive_json_like_stringification(self):
+        payload = _checkpoint().to_payload()
+        payload["shards"] = {str(k): v for k, v in payload["shards"].items()}
+        rebuilt = CompositeCheckpoint.from_payload(payload)
+        assert set(rebuilt.shards) == {0, 1}
+
+
+class TestLoadFailures:
+    def test_missing_file(self, tmp_path):
+        path = str(tmp_path / "nope.ckpt")
+        with pytest.raises(CheckpointError) as info:
+            CompositeCheckpoint.load(path)
+        assert info.value.path == path
+        assert info.value.reason == "not-found"
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "torn.ckpt"
+        _checkpoint().save(str(path))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError) as info:
+            CompositeCheckpoint.load(str(path))
+        assert info.value.path == str(path)
+        assert info.value.reason in ("truncated", "not-a-pickle", "corrupt")
+
+    def test_not_a_pickle(self, tmp_path):
+        path = tmp_path / "noise.ckpt"
+        path.write_bytes(b"plain text, not a pickle")
+        with pytest.raises(CheckpointError) as info:
+            CompositeCheckpoint.load(str(path))
+        assert info.value.reason in ("not-a-pickle", "truncated", "corrupt")
+
+    def test_wrong_payload_type(self, tmp_path):
+        path = tmp_path / "list.ckpt"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError) as info:
+            CompositeCheckpoint.load(str(path))
+        assert info.value.reason == "wrong-type"
+
+    def test_unknown_version(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        payload = _checkpoint().to_payload()
+        payload["version"] = 99
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(CheckpointError) as info:
+            CompositeCheckpoint.load(str(path))
+        assert info.value.reason == "corrupt"
+        assert info.value.path == str(path)

@@ -1,0 +1,116 @@
+"""Tests: the process-backed shard coordinator, including chaos paths.
+
+These spawn real worker processes (the same spawn context the
+supervisor uses), so they are the slowest tests in the suite — each
+one builds the Brunel workload in the coordinator and once per worker.
+The digest pin is against a single-process run computed once per
+module.
+"""
+
+import pytest
+
+from repro.errors import SupervisionError
+from repro.sharding import CompositeCheckpoint, ShardChaos, ShardCoordinator
+from repro.supervision import JobSpec, RetryPolicy
+
+STEPS = 200
+SCALE = 0.05
+SEED = 3
+
+
+def _spec(n_shards, name="coord-test"):
+    return JobSpec(
+        name=f"{name}-x{n_shards}", workload="Brunel",
+        backend="reference", steps=STEPS, scale=SCALE, seed=SEED,
+        shards=n_shards,
+    )
+
+
+@pytest.fixture(scope="module")
+def single_digest():
+    from repro.network.simulator import Simulator
+    from repro.network.backends import ReferenceBackend
+    from repro.workloads import build_workload
+    from repro.workloads.builders import DT
+
+    network = build_workload("Brunel", scale=SCALE, seed=SEED)
+    simulator = Simulator(network, ReferenceBackend(), dt=DT, seed=SEED + 1)
+    result = simulator.run(STEPS)
+    assert result.total_spikes() > 0
+    return result.spikes.digest()
+
+
+class TestHappyPath:
+    def test_two_shards_bit_identical(self, single_digest):
+        result = ShardCoordinator(_spec(2)).run()
+        assert result.spike_digest == single_digest
+        assert result.restarts == [0, 0]
+        assert not result.degraded
+        assert result.diagnostics.healthy()
+        stats = result.to_stats_dict()
+        assert stats["schema"] == "repro-shard-run/1"
+        assert stats["spike_digest"] == single_digest
+
+    def test_composite_checkpoint_written(self, single_digest, tmp_path):
+        path = str(tmp_path / "composite.ckpt")
+        result = ShardCoordinator(
+            _spec(2), checkpoint_every=5, checkpoint_path=path
+        ).run()
+        assert result.spike_digest == single_digest
+        composite = CompositeCheckpoint.load(path)
+        assert set(composite.shards) == {0, 1}
+        assert composite.signature["n_shards"] == 2
+
+
+class TestChaos:
+    def test_sigkill_recovery_bit_identical(self, single_digest):
+        result = ShardCoordinator(
+            _spec(2, "kill"),
+            chaos=ShardChaos(shard=1, kill_epoch=5),
+            retry=RetryPolicy(max_retries=2, base_delay=0.1),
+        ).run()
+        assert result.restarts == [0, 1]
+        assert not result.degraded
+        assert result.spike_digest == single_digest
+
+    def test_stall_recovery_bit_identical(self, single_digest):
+        result = ShardCoordinator(
+            _spec(2, "stall"),
+            chaos=ShardChaos(shard=0, stall_epoch=8),
+            retry=RetryPolicy(max_retries=2, base_delay=0.1),
+            barrier_timeout=2.0,
+        ).run()
+        assert result.restarts == [1, 0]
+        assert not result.degraded
+        assert result.spike_digest == single_digest
+
+    def test_exhausted_retries_degrade_to_single_process(self, single_digest):
+        # Retry budget zero: the first kill exhausts it, and the run
+        # must complete degraded — single-process, same digest, with a
+        # structured DegradedEvent in the diagnostics.
+        result = ShardCoordinator(
+            _spec(2, "degrade"),
+            chaos=ShardChaos(shard=1, kill_epoch=3),
+            retry=RetryPolicy(max_retries=0, base_delay=0.1),
+        ).run()
+        assert result.degraded
+        assert result.spike_digest == single_digest
+        assert not result.diagnostics.healthy()
+        reasons = [event.reason for event in result.diagnostics.degraded]
+        assert "retries-exhausted" in reasons
+
+
+class TestValidation:
+    def test_rejects_fewer_than_two_shards(self):
+        with pytest.raises(SupervisionError):
+            ShardCoordinator(_spec(1))
+
+    def test_rejects_chaos_shard_out_of_range(self):
+        with pytest.raises(SupervisionError):
+            ShardCoordinator(
+                _spec(2), chaos=ShardChaos(shard=2, kill_epoch=1)
+            )
+
+    def test_rejects_non_positive_barrier_timeout(self):
+        with pytest.raises(SupervisionError):
+            ShardCoordinator(_spec(2), barrier_timeout=0.0)
