@@ -60,6 +60,15 @@ Subcommands:
     ``--plasticity`` instead measures lazy-STDP overhead (plasticity
     off vs lazy vs dense on Brunel and Vogels) and fails when the lazy
     and dense spike digests diverge or nothing was actually deferred.
+``runs``
+    Query the run-provenance ledger (``ledger.jsonl``, schema
+    ``repro-ledger/1``) that ``run``/``sweep``/``bench``/``profile``
+    append to: ``list`` recent runs, ``show RUN_ID`` one full entry,
+    ``diff A B`` two entries field by field (exit 1 when their spike
+    digests diverge — the reproducibility alarm), and ``trace RUN_ID``
+    to re-merge a sharded run's recorded span rings into a
+    Perfetto-loadable trace. Run ids accept unique prefixes. Opt out
+    of recording with ``--no-ledger`` on any recording command.
 """
 
 from __future__ import annotations
@@ -127,7 +136,7 @@ def _cmd_microcode(args) -> int:
 
 def _start_plane(
     bind: str, port_file, metrics, status, bus,
-    health_check=None, ready_check=None,
+    health_check=None, ready_check=None, ledger_path=None,
 ):
     """Start the observability HTTP plane behind a ``--serve`` flag."""
     from repro.io import atomic_write_text
@@ -136,6 +145,15 @@ def _start_plane(
     host, port = parse_serve_spec(bind)
 
     def metrics_text() -> str:
+        # Publish-at-collect: the bus's cumulative SSE drop tally is
+        # copied into the counter on each scrape, so a slow /events
+        # consumer shows up on /metrics without touching the hot path.
+        if bus is not None:
+            metrics.counter(
+                "sse_dropped_events_total",
+                help="SSE events dropped across all subscribers "
+                "(slow consumers lose events instead of blocking)",
+            ).set_total(bus.dropped_total)
         # The registry is mutated by the run/supervisor threads without
         # a lock shared with the HTTP threads; retry the (rare, benign)
         # dict-resized-during-iteration race instead of locking the hot
@@ -147,6 +165,15 @@ def _start_plane(
                 continue
         return ""
 
+    runs_source = None
+    if ledger_path:
+        from repro.provenance import load_ledger, runs_document
+
+        def runs_source():
+            # Re-read per request: the ledger is append-only and may
+            # be written by other concurrent repro commands.
+            return runs_document(load_ledger(ledger_path))
+
     server = ObservabilityServer(
         metrics_text=metrics_text,
         status=status,
@@ -155,14 +182,15 @@ def _start_plane(
         ready_check=ready_check,
         host=host,
         port=port,
+        runs_source=runs_source,
     )
     server.start()
     if port_file:
         atomic_write_text(port_file, f"{server.port}\n")
-    print(
-        f"observability plane at {server.url} "
-        f"(/metrics /healthz /readyz /status /events)"
-    )
+    endpoints = "/metrics /healthz /readyz /status" + (
+        " /runs" if runs_source is not None else ""
+    ) + " /events"
+    print(f"observability plane at {server.url} ({endpoints})")
     return server
 
 
@@ -197,6 +225,31 @@ def _linger_plane(server, bus, linger: Optional[float]) -> None:
         server.stop()
 
 
+def _ledger_path(args) -> Optional[str]:
+    """The ledger file this invocation records to (None = disabled)."""
+    if getattr(args, "no_ledger", False):
+        return None
+    return getattr(args, "ledger", None)
+
+
+def _append_ledger(args, entry: dict) -> None:
+    """Append one provenance entry unless the ledger is disabled."""
+    path = _ledger_path(args)
+    if not path:
+        return
+    from repro.provenance import append_entry
+
+    try:
+        append_entry(path, entry)
+    except OSError as error:
+        print(
+            f"warning: could not record run in ledger {path!r}: {error}",
+            file=sys.stderr,
+        )
+        return
+    print(f"recorded {entry['run_id']} in ledger {path!r}")
+
+
 def _runtime_health_check(simulator, status):
     """Probe callables for a single simulated run's /healthz and /readyz."""
 
@@ -225,8 +278,11 @@ def _runtime_health_check(simulator, status):
 
 def _run_sharded(args) -> int:
     """``repro run --shards N``: the fault-tolerant sharded path."""
+    import time
+
     from repro.errors import ConfigurationError
     from repro.io import atomic_write_json, atomic_write_text
+    from repro.observability.log import new_run_id
     from repro.sharding import ShardChaos, ShardCoordinator
     from repro.supervision import JobSpec, RetryPolicy
     from repro.supervision.config import SupervisorConfig
@@ -281,8 +337,9 @@ def _run_sharded(args) -> int:
 
         server = _start_plane(
             args.serve, args.serve_port_file, metrics, status, bus,
-            ready_check=ready_check,
+            ready_check=ready_check, ledger_path=_ledger_path(args),
         )
+    run_id = new_run_id()
     coordinator = ShardCoordinator(
         job,
         config=SupervisorConfig(),
@@ -294,8 +351,10 @@ def _run_sharded(args) -> int:
         metrics=metrics,
         status_board=status,
         event_bus=bus,
+        run_id=run_id,
     )
     print(f"{spec}")
+    print(f"run ID: {run_id}")
     print(
         f"sharded x{args.shards}: barrier window "
         f"{coordinator.plan.window} step(s), "
@@ -313,7 +372,9 @@ def _run_sharded(args) -> int:
                 else f"stalls silently at epoch {chaos.stall_epoch}"
             )
         )
+    wall_start = time.monotonic()
     result = coordinator.run()
+    wall_seconds = time.monotonic() - wall_start
     duration = result.n_steps * args.dt
     print(
         f"\n{result.total_spikes():,} spikes in {duration * 1e3:.0f} ms "
@@ -328,12 +389,59 @@ def _run_sharded(args) -> int:
         print("degraded to single-process execution:")
         for event in result.diagnostics.degraded:
             print(f"  {event.describe()}")
+    if args.trace:
+        trace_document = result.trace_document(network=args.workload)
+        atomic_write_json(args.trace, trace_document)
+        print(
+            f"wrote merged shard trace {args.trace!r} "
+            f"({result.n_shards} shard(s) + coordinator, "
+            f"{len(trace_document['traceEvents'])} events) — load it in "
+            f"chrome://tracing or https://ui.perfetto.dev"
+        )
     if args.stats_json:
         atomic_write_json(args.stats_json, result.to_stats_dict())
         print(f"wrote run statistics {args.stats_json!r}")
     if args.prometheus:
         atomic_write_text(args.prometheus, metrics.to_prometheus())
         print(f"wrote Prometheus metrics {args.prometheus!r}")
+    from repro.provenance import make_entry
+
+    _append_ledger(args, make_entry(
+        "run",
+        run_id,
+        {
+            "workload": args.workload,
+            "backend": args.backend,
+            "steps": args.steps,
+            "scale": args.scale,
+            "seed": args.seed,
+            "dt": args.dt,
+            "solver": args.solver,
+            "shards": args.shards,
+        },
+        workload=args.workload,
+        backend=args.backend,
+        shards=args.shards,
+        steps=args.steps,
+        scale=args.scale,
+        seed=args.seed,
+        dt=args.dt,
+        spike_digest=result.spike_digest,
+        outcome="degraded" if result.degraded else "completed",
+        duration=wall_seconds,
+        metrics={
+            "total_spikes": result.total_spikes(),
+            "restarts": result.restarts,
+            "replayed_epochs": result.replayed_epochs,
+        },
+        artifacts={
+            "trace": args.trace,
+            "stats_json": args.stats_json,
+            "prometheus": args.prometheus,
+            "checkpoint": args.shard_checkpoint_path,
+        },
+        trace_rings=[ring.to_dict() for ring in result.rings],
+    ))
     _linger_plane(server, bus, args.serve_linger)
     return 0
 
@@ -341,11 +449,14 @@ def _run_sharded(args) -> int:
 def _cmd_run(args) -> int:
     if args.shards > 1:
         return _run_sharded(args)
+    import time
+
     from repro.errors import CheckpointError, RunInterrupted
     from repro.hardware.backend import FlexonBackend, FoldedFlexonBackend
     from repro.io import atomic_write_json, atomic_write_text
     from repro.network.backends import ReferenceBackend
     from repro.network.simulator import Simulator
+    from repro.observability.log import new_run_id
     from repro.reliability import Checkpoint, CheckpointHook
     from repro.supervision.interrupt import (
         EXIT_CODES,
@@ -354,6 +465,17 @@ def _cmd_run(args) -> int:
     )
     from repro.workloads import build_workload, get_spec
 
+    run_id = new_run_id()
+    ledger_config = {
+        "workload": args.workload,
+        "backend": args.backend,
+        "steps": args.steps,
+        "scale": args.scale,
+        "seed": args.seed,
+        "dt": args.dt,
+        "solver": args.solver,
+        "shards": args.shards,
+    }
     spec = get_spec(args.workload)
     backends = {
         "reference": lambda: ReferenceBackend(args.solver or spec.solver),
@@ -363,6 +485,7 @@ def _cmd_run(args) -> int:
     backend = backends[args.backend]()
     network = build_workload(args.workload, scale=args.scale, seed=args.seed)
     print(f"{spec}")
+    print(f"run ID: {run_id}")
     print(
         f"built at scale {args.scale}: {network.n_neurons:,} neurons, "
         f"{network.n_synapses:,} synapses; backend: {backend.name}"
@@ -400,9 +523,9 @@ def _cmd_run(args) -> int:
         from repro.telemetry import TraceHook
 
         trace = (
-            TraceHook()
+            TraceHook(run_id=run_id)
             if args.trace_max_events is None
-            else TraceHook(max_events=args.trace_max_events)
+            else TraceHook(max_events=args.trace_max_events, run_id=run_id)
         )
         hooks.append(trace)
     metrics = None
@@ -420,16 +543,18 @@ def _cmd_run(args) -> int:
         health_check, ready_check = _runtime_health_check(simulator, status)
         server = _start_plane(
             args.serve, args.serve_port_file, metrics, status, bus,
-            health_check, ready_check,
+            health_check, ready_check, ledger_path=_ledger_path(args),
         )
     interrupt = InterruptHook(simulator, checkpoint_path=args.checkpoint_path)
     hooks.append(interrupt)
+    wall_start = time.monotonic()
     try:
         with graceful_signals(interrupt):
             result = simulator.run(
                 remaining, hooks=hooks, spikes=spikes, metrics=metrics
             )
     except RunInterrupted as stop:
+        wall_seconds = time.monotonic() - wall_start
         print(
             f"\ninterrupted by {stop.signal_name} at step {stop.step}; "
             "stopping gracefully"
@@ -441,11 +566,34 @@ def _cmd_run(args) -> int:
                 f"--resume-from {interrupt.checkpoint_written!r}"
             )
         if args.stats_json and interrupt.partial_stats is not None:
-            atomic_write_json(args.stats_json, interrupt.partial_stats)
+            partial = dict(interrupt.partial_stats)
+            partial["run_id"] = run_id
+            atomic_write_json(args.stats_json, partial)
             print(f"wrote partial run statistics {args.stats_json!r}")
+        from repro.provenance import make_entry
+
+        _append_ledger(args, make_entry(
+            "run",
+            run_id,
+            ledger_config,
+            workload=args.workload,
+            backend=args.backend,
+            shards=args.shards,
+            steps=stop.step,
+            scale=args.scale,
+            seed=args.seed,
+            dt=args.dt,
+            outcome=f"interrupted ({stop.signal_name})",
+            duration=wall_seconds,
+            artifacts={
+                "stats_json": args.stats_json,
+                "checkpoint": interrupt.checkpoint_written,
+            },
+        ))
         if server is not None:
             server.stop()
         return EXIT_CODES.get(stop.signal_name, 130)
+    wall_seconds = time.monotonic() - wall_start
     duration = simulator.current_step * args.dt
     rate = result.total_spikes() / max(1, network.n_neurons) / duration
     print(
@@ -468,11 +616,43 @@ def _cmd_run(args) -> int:
             f"chrome://tracing or https://ui.perfetto.dev"
         )
     if args.stats_json:
-        atomic_write_json(args.stats_json, result.to_stats_dict())
+        stats = result.to_stats_dict()
+        stats["run_id"] = run_id
+        atomic_write_json(args.stats_json, stats)
         print(f"wrote run statistics {args.stats_json!r}")
     if args.prometheus:
         atomic_write_text(args.prometheus, metrics.to_prometheus())
         print(f"wrote Prometheus metrics {args.prometheus!r}")
+    from repro.provenance import make_entry
+    from repro.supervision.job import spike_digest
+
+    _append_ledger(args, make_entry(
+        "run",
+        run_id,
+        ledger_config,
+        workload=args.workload,
+        backend=args.backend,
+        shards=args.shards,
+        steps=args.steps,
+        scale=args.scale,
+        seed=args.seed,
+        dt=args.dt,
+        spike_digest=spike_digest(result.spikes),
+        outcome="completed",
+        duration=wall_seconds,
+        metrics={
+            "total_spikes": result.total_spikes(),
+            "mean_rate_hz": rate,
+        },
+        artifacts={
+            "trace": args.trace,
+            "stats_json": args.stats_json,
+            "prometheus": args.prometheus,
+            "checkpoint": (
+                args.checkpoint_path if args.checkpoint_every else None
+            ),
+        },
+    ))
     _linger_plane(server, bus, args.serve_linger)
     return 0
 
@@ -557,7 +737,7 @@ def _cmd_sweep(args) -> int:
 
         server = _start_plane(
             args.serve, args.serve_port_file, metrics, status, bus,
-            health_check, ready_check,
+            health_check, ready_check, ledger_path=_ledger_path(args),
         )
     print(f"sweep run ID: {supervisor.run_id}")
     print(
@@ -620,11 +800,61 @@ def _cmd_sweep(args) -> int:
             f"wrote merged log stream {args.log_json!r} "
             f"({len(report.log_records)} records)"
         )
+    from repro.provenance import make_entry
+
+    digests = {
+        job.name: job.spike_digest for job in report.jobs if job.spike_digest
+    }
+    _append_ledger(args, make_entry(
+        "sweep",
+        supervisor.run_id,
+        {
+            "workloads": names,
+            "backend": args.backend,
+            "steps": args.steps,
+            "scale": args.scale,
+            "seed": args.seed,
+            "dt": args.dt,
+            "solver": args.solver,
+            "shards": args.shards,
+            "workers": args.workers,
+            "max_retries": args.max_retries,
+        },
+        workload=",".join(names),
+        backend=args.backend,
+        shards=args.shards,
+        steps=args.steps,
+        scale=args.scale,
+        seed=args.seed,
+        dt=args.dt,
+        # One job's digest is THE digest; several jobs pin per-job
+        # digests in the extra block instead.
+        spike_digest=(
+            report.jobs[0].spike_digest if len(report.jobs) == 1 else None
+        ),
+        outcome="completed" if report.all_completed() else "failed",
+        duration=report.wall_seconds,
+        metrics={
+            "jobs": len(report.jobs),
+            "completed": len(report.completed),
+            "failed": len(report.failed),
+            "retries": sum(job.retries for job in report.jobs),
+        },
+        artifacts={
+            "stats_json": args.stats_json,
+            "trace": args.trace,
+            "log_json": args.log_json,
+        },
+        extra={"job_digests": digests},
+    ))
     _linger_plane(server, bus, args.serve_linger)
     return 0 if report.all_completed() else 1
 
 
 def _cmd_profile(args) -> int:
+    import time
+
+    from repro.observability.log import new_run_id
     from repro.telemetry import profile
 
     workloads = (
@@ -635,6 +865,9 @@ def _cmd_profile(args) -> int:
     steps, scale, reps = args.steps, args.scale, args.reps
     if args.quick:
         steps, scale, reps = min(steps, 120), min(scale, 0.05), min(reps, 2)
+    run_id = new_run_id()
+    print(f"run ID: {run_id}")
+    wall_start = time.monotonic()
     payload = profile.run_profile(
         workloads,
         backend=args.backend,
@@ -644,13 +877,38 @@ def _cmd_profile(args) -> int:
         seed=args.seed,
         trace_path=args.trace,
         progress=print,
+        run_id=run_id,
     )
+    wall_seconds = time.monotonic() - wall_start
     print()
     print(profile.format_profile(payload))
     profile.write_profile(payload, args.output)
     print(f"\nwrote {args.output}")
     if args.trace:
         print(f"wrote sample trace {args.trace!r}")
+    from repro.provenance import make_entry
+
+    _append_ledger(args, make_entry(
+        "profile",
+        run_id,
+        {
+            "workloads": workloads,
+            "backend": args.backend,
+            "steps": steps,
+            "scale": scale,
+            "reps": reps,
+            "seed": args.seed,
+        },
+        workload=",".join(workloads),
+        backend=args.backend,
+        steps=steps,
+        scale=scale,
+        seed=args.seed,
+        outcome="completed",
+        duration=wall_seconds,
+        metrics={"max_overhead_delta": payload["max_overhead_delta"]},
+        artifacts={"output": args.output, "trace": args.trace},
+    ))
     return 0
 
 
@@ -779,7 +1037,7 @@ def _cmd_serve(args) -> int:
     health_check, ready_check = _runtime_health_check(simulator, status)
     server = _start_plane(
         args.bind, args.port_file, metrics, status, bus,
-        health_check, ready_check,
+        health_check, ready_check, ledger_path=args.ledger,
     )
     print(
         f"simulating {args.workload!r} on {simulator.backend.name} "
@@ -813,7 +1071,10 @@ def _cmd_top(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    import time
+
     from repro.observability import bench
+    from repro.observability.log import new_run_id
 
     if args.plasticity:
         return _bench_plasticity(args, bench)
@@ -828,14 +1089,18 @@ def _cmd_bench(args) -> int:
     steps, scale, reps = args.steps, args.scale, args.reps
     if args.quick:
         steps, scale, reps = min(steps, 120), min(scale, 0.05), min(reps, 2)
+    run_id = new_run_id()
+    print(f"run ID: {run_id}")
     print(
         f"benchmarking {len(workloads)} workload(s) on {args.backend!r}: "
         f"{steps} steps at scale {scale:g}, median of {reps}"
     )
+    wall_start = time.monotonic()
     record = bench.make_record(
         workloads, backend=args.backend, steps=steps, scale=scale,
-        seed=args.seed, reps=reps, progress=print,
+        seed=args.seed, reps=reps, progress=print, run_id=run_id,
     )
+    wall_seconds = time.monotonic() - wall_start
     history = bench.load_history(args.history)
     exit_code = 0
     if args.compare:
@@ -859,6 +1124,34 @@ def _cmd_bench(args) -> int:
     if not args.no_append:
         bench.append_history(args.history, record)
         print(f"\nappended record to {args.history!r}")
+    from repro.provenance import make_entry
+
+    _append_ledger(args, make_entry(
+        "bench",
+        run_id,
+        {
+            "workloads": workloads,
+            "backend": args.backend,
+            "steps": steps,
+            "scale": scale,
+            "seed": args.seed,
+            "reps": reps,
+        },
+        workload=",".join(workloads),
+        backend=args.backend,
+        steps=steps,
+        scale=scale,
+        seed=args.seed,
+        outcome="regressed" if exit_code else "completed",
+        duration=wall_seconds,
+        metrics={
+            "steps_per_sec": {
+                name: entry["steps_per_sec"]
+                for name, entry in record["workloads"].items()
+            },
+        },
+        artifacts={"history": None if args.no_append else args.history},
+    ))
     return exit_code
 
 
@@ -881,13 +1174,17 @@ def _bench_plasticity(args, bench) -> int:
         # silent for the whole run, which would make the digest pin
         # vacuous; a single rep is where the time actually goes
         steps, scale, reps = min(steps, 300), min(scale, 0.05), 1
+    from repro.observability.log import new_run_id
+
+    run_id = new_run_id()
+    print(f"run ID: {run_id}")
     print(
         f"plasticity bench on {len(workloads)} workload(s): {steps} steps "
         f"at scale {scale:g}, off vs lazy vs dense STDP"
     )
     record = bench.make_plasticity_record(
         workloads, steps=steps, scale=scale,
-        seed=args.seed, reps=reps, progress=print,
+        seed=args.seed, reps=reps, progress=print, run_id=run_id,
     )
     exit_code = 0
     for name, entry in record["plasticity"].items():
@@ -904,6 +1201,34 @@ def _bench_plasticity(args, bench) -> int:
     if not args.no_append:
         bench.append_history(args.history, record)
         print(f"\nappended plasticity record to {args.history!r}")
+    from repro.provenance import make_entry
+
+    _append_ledger(args, make_entry(
+        "bench",
+        run_id,
+        {
+            "kind": "plasticity",
+            "workloads": workloads,
+            "steps": steps,
+            "scale": scale,
+            "seed": args.seed,
+            "reps": reps,
+        },
+        workload=",".join(workloads),
+        backend="reference",
+        steps=steps,
+        scale=scale,
+        seed=args.seed,
+        outcome="failed" if exit_code else "completed",
+        metrics={
+            "digest_match": {
+                name: entry["digest_match"]
+                for name, entry in record["plasticity"].items()
+            },
+        },
+        artifacts={"history": None if args.no_append else args.history},
+        extra={"bench_kind": "plasticity"},
+    ))
     return exit_code
 
 
@@ -935,13 +1260,17 @@ def _bench_sharding(args, bench) -> int:
     steps, scale = min(args.steps, 400), args.scale
     if args.quick:
         steps, scale = min(steps, 200), min(scale, 0.05)
+    from repro.observability.log import new_run_id
+
+    run_id = new_run_id()
+    print(f"run ID: {run_id}")
     print(
         f"sharding bench on {len(workloads)} workload(s): {steps} steps "
         f"at scale {scale:g}, shard counts {shard_counts}"
     )
     record = bench.make_sharding_record(
         workloads, shard_counts, steps=steps, scale=scale,
-        seed=args.seed, progress=print,
+        seed=args.seed, progress=print, run_id=run_id,
     )
     exit_code = 0
     for name, entry in record["sharding"].items():
@@ -954,7 +1283,158 @@ def _bench_sharding(args, bench) -> int:
     if not args.no_append:
         bench.append_history(args.history, record)
         print(f"\nappended sharding record to {args.history!r}")
+    from repro.provenance import make_entry
+
+    _append_ledger(args, make_entry(
+        "bench",
+        run_id,
+        {
+            "kind": "sharding",
+            "workloads": workloads,
+            "shard_counts": shard_counts,
+            "steps": steps,
+            "scale": scale,
+            "seed": args.seed,
+        },
+        workload=",".join(workloads),
+        backend="reference",
+        steps=steps,
+        scale=scale,
+        seed=args.seed,
+        outcome="failed" if exit_code else "completed",
+        metrics={
+            "digest_match": {
+                name: entry["digest_match"]
+                for name, entry in record["sharding"].items()
+            },
+        },
+        artifacts={"history": None if args.no_append else args.history},
+        extra={"bench_kind": "sharding"},
+    ))
     return exit_code
+
+
+def _cmd_runs(args) -> int:
+    """``repro runs``: query the run-provenance ledger."""
+    import json
+
+    from repro.provenance import (
+        ProcessRing,
+        diff_entries,
+        find_entry,
+        load_ledger,
+        merge_rings,
+        runs_document,
+    )
+
+    entries = load_ledger(args.ledger)
+
+    if args.action == "list":
+        if args.kind:
+            entries = [e for e in entries if e.get("kind") == args.kind]
+        if args.workload:
+            entries = [
+                e for e in entries
+                if args.workload in str(e.get("workload") or "")
+            ]
+        document = runs_document(entries, limit=args.limit)
+        if not document["runs"]:
+            print(f"no matching runs in {args.ledger!r}")
+            return 0
+        from repro.experiments.common import format_table
+
+        rows = [
+            (
+                row["run_id"],
+                row["timestamp"],
+                row["kind"],
+                row["workload"],
+                row["backend"] or "-",
+                row["shards"],
+                row["steps"],
+                row["outcome"],
+                row["spike_digest"] or "-",
+            )
+            for row in document["runs"]
+        ]
+        print(
+            format_table(
+                [
+                    "Run", "When", "Kind", "Workload", "Backend",
+                    "Shards", "Steps", "Outcome", "Spike digest",
+                ],
+                rows,
+            )
+        )
+        shown = len(document["runs"])
+        print(
+            f"\n{shown} of {document['n_runs']} run(s) in {args.ledger!r}"
+            + ("" if shown == document["n_runs"] else " (raise --limit)")
+        )
+        return 0
+
+    if args.action == "show":
+        entry = find_entry(entries, args.run_id)
+        shown = dict(entry)
+        rings = shown.pop("trace_rings", None)
+        if rings is not None:
+            if args.full:
+                shown["trace_rings"] = rings
+            else:
+                shown["trace_rings"] = (
+                    f"<{len(rings)} ring(s) omitted; --full to include, "
+                    f"'repro runs trace' to merge>"
+                )
+        print(json.dumps(shown, indent=2))
+        return 0
+
+    if args.action == "diff":
+        a = find_entry(entries, args.run_a)
+        b = find_entry(entries, args.run_b)
+        print(f"a: {a['run_id']}  ({a.get('timestamp')})")
+        print(f"b: {b['run_id']}  ({b.get('timestamp')})")
+        differences = diff_entries(a, b)
+        if not differences:
+            print("entries are identical across all compared fields")
+        for field, left, right in differences:
+            print(f"  {field:14s} {left!r:>34}  ->  {right!r}")
+        digest_a, digest_b = a.get("spike_digest"), b.get("spike_digest")
+        if digest_a and digest_b:
+            if digest_a != digest_b:
+                print(
+                    "\nSPIKE DIGEST DIVERGENCE: the two runs produced "
+                    "different spike trains"
+                )
+                return 1
+            print("\nspike digests match: bit-identical spike trains")
+        else:
+            print("\nspike digest not recorded for both runs; not compared")
+        return 0
+
+    # args.action == "trace"
+    from repro.io import atomic_write_json
+
+    entry = find_entry(entries, args.run_id)
+    rings = entry.get("trace_rings")
+    if not rings:
+        raise ReproError(
+            f"ledger entry {entry['run_id']} carries no trace rings "
+            "(only sharded `repro run --shards N` records them)"
+        )
+    document = merge_rings(
+        [ProcessRing.from_dict(ring) for ring in rings],
+        run_id=str(entry.get("run_id", "")),
+        network=entry.get("workload"),
+    )
+    output = args.output or f"{entry['run_id']}-trace.json"
+    atomic_write_json(output, document)
+    print(
+        f"wrote merged trace {output!r} "
+        f"({document['otherData']['n_tracks']} track(s), "
+        f"{len(document['traceEvents'])} events) — load it in "
+        f"chrome://tracing or https://ui.perfetto.dev"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1089,6 +1569,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write run metrics in Prometheus text exposition format",
     )
     _add_serve_flags(run)
+    _add_ledger_flags(run)
 
     sweep = sub.add_parser(
         "sweep",
@@ -1212,6 +1693,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(repro-log/1) as JSON",
     )
     _add_serve_flags(sweep)
+    _add_ledger_flags(sweep)
 
     profile = sub.add_parser(
         "profile",
@@ -1250,6 +1732,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.json",
         help="also save the first workload's instrumented trace",
     )
+    _add_ledger_flags(profile)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -1311,6 +1794,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="keep serving this long after the run "
         "(default: until Ctrl-C)",
+    )
+    serve.add_argument(
+        "--ledger",
+        default="ledger.jsonl",
+        metavar="PATH",
+        help="run-provenance ledger served on GET /runs",
     )
 
     top = sub.add_parser(
@@ -1412,7 +1901,79 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure and compare without recording to the history",
     )
+    _add_ledger_flags(bench)
+
+    runs = sub.add_parser(
+        "runs",
+        help="query the run-provenance ledger (what ran, with which "
+        "config, producing which spike digest)",
+    )
+    runs.add_argument(
+        "--ledger",
+        default="ledger.jsonl",
+        metavar="PATH",
+        help="the ledger file to query (default: ledger.jsonl)",
+    )
+    runs_sub = runs.add_subparsers(dest="action", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="list recorded runs, newest first"
+    )
+    runs_list.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show at most N runs (default 20)",
+    )
+    runs_list.add_argument(
+        "--kind", default=None,
+        choices=("run", "sweep", "bench", "profile"),
+        help="only runs of this kind",
+    )
+    runs_list.add_argument(
+        "--workload", default=None, metavar="NAME",
+        help="only runs whose workload contains NAME",
+    )
+    runs_show = runs_sub.add_parser(
+        "show", help="print one run's full ledger entry as JSON"
+    )
+    runs_show.add_argument(
+        "run_id", help="full run id or unique prefix"
+    )
+    runs_show.add_argument(
+        "--full", action="store_true",
+        help="include the inline trace rings (large)",
+    )
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="compare two runs field by field; exits 1 when their "
+        "spike digests diverge",
+    )
+    runs_diff.add_argument("run_a", help="run id or unique prefix")
+    runs_diff.add_argument("run_b", help="run id or unique prefix")
+    runs_trace = runs_sub.add_parser(
+        "trace",
+        help="re-merge a run's recorded span rings into a "
+        "Perfetto-loadable trace file",
+    )
+    runs_trace.add_argument("run_id", help="full run id or unique prefix")
+    runs_trace.add_argument(
+        "--output", "-o", default=None, metavar="OUT.json",
+        help="trace file to write (default: <run_id>-trace.json)",
+    )
     return parser
+
+
+def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        default="ledger.jsonl",
+        metavar="PATH",
+        help="append this invocation's provenance entry here "
+        "(query with `repro runs`; default: ledger.jsonl)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record this invocation in the run ledger",
+    )
 
 
 def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
@@ -1451,6 +2012,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "top": _cmd_top,
     "bench": _cmd_bench,
+    "runs": _cmd_runs,
 }
 
 
@@ -1462,6 +2024,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); not a failure.
+        # Detach stdout so interpreter shutdown doesn't warn about the
+        # unflushable stream.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,13 +29,20 @@ import contextlib
 import json
 import os
 import tempfile
-from typing import Iterator, Union
+from typing import Iterator, List, Optional, Union
+
+try:  # POSIX only; JSONL appends degrade to unlocked on other platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
+    "append_jsonl",
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_text",
     "atomic_writer",
+    "load_jsonl",
 ]
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -92,3 +99,59 @@ def atomic_write_json(
     """Atomically write ``payload`` as JSON (trailing newline included)."""
     text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
     atomic_write_text(path, text)
+
+
+def append_jsonl(path: PathLike, record: dict) -> None:
+    """Append one JSON record as a whole line, safe under concurrency.
+
+    Append-only histories (``BENCH_history.jsonl``, ``ledger.jsonl``)
+    have a different failure model than one-shot artifacts: several
+    processes may append at once, and none of them may clobber the
+    others' lines. A read-modify-rename cycle loses lines under that
+    race, so appends go through ``O_APPEND`` plus an exclusive
+    ``flock`` (where available) and a single ``write`` + ``fsync``.
+    A crash mid-write can leave at most one torn *final* line, which
+    :func:`load_jsonl` tolerates by skipping unparsable lines.
+    """
+    line = json.dumps(record) + "\n"
+    fd = os.open(
+        os.fspath(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+    try:
+        if fcntl is not None:
+            with contextlib.suppress(OSError):
+                fcntl.flock(fd, fcntl.LOCK_EX)
+        os.write(fd, line.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def load_jsonl(path: PathLike, schema: Optional[str] = None) -> List[dict]:
+    """Load a JSONL history, skipping torn or foreign lines.
+
+    A record survives only if the line parses as a JSON object and,
+    when ``schema`` is given, carries that ``"schema"`` value — so a
+    truncated final line (crash mid-append) or a record written by a
+    different tool version degrades to a shorter history, never an
+    exception. A missing file is an empty history.
+    """
+    records: List[dict] = []
+    try:
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                if schema is not None and record.get("schema") != schema:
+                    continue
+                records.append(record)
+    except FileNotFoundError:
+        return []
+    return records

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.io import atomic_write_text
+from repro.observability.log import new_run_id
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -115,8 +116,13 @@ def make_record(
     seed: int = 5,
     reps: int = 3,
     progress=None,
+    run_id: str = "",
 ) -> dict:
-    """Measure several workloads into one ``repro-bench/1`` record."""
+    """Measure several workloads into one ``repro-bench/1`` record.
+
+    ``run_id`` correlates the record with the provenance ledger and
+    any other artifact of the same invocation (minted when empty).
+    """
     entries: Dict[str, dict] = {}
     for name in workloads:
         entries[name] = measure_workload(
@@ -130,6 +136,7 @@ def make_record(
             )
     return {
         "schema": BENCH_SCHEMA,
+        "run_id": run_id or new_run_id(),
         "ts": time.time(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "backend": backend,
@@ -260,6 +267,7 @@ def make_plasticity_record(
     seed: int = 5,
     reps: int = 1,
     progress=None,
+    run_id: str = "",
 ) -> dict:
     """Measure plasticity overhead into one ``repro-bench/1`` record.
 
@@ -284,6 +292,7 @@ def make_plasticity_record(
     return {
         "schema": BENCH_SCHEMA,
         "kind": PLASTICITY_KIND,
+        "run_id": run_id or new_run_id(),
         "ts": time.time(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "backend": "reference",
@@ -387,6 +396,7 @@ def make_sharding_record(
     scale: float = 0.05,
     seed: int = 5,
     progress=None,
+    run_id: str = "",
 ) -> dict:
     """Measure sharded scaling into one ``repro-bench/1`` record.
 
@@ -410,6 +420,7 @@ def make_sharding_record(
     return {
         "schema": BENCH_SCHEMA,
         "kind": SHARDING_KIND,
+        "run_id": run_id or new_run_id(),
         "ts": time.time(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "backend": "reference",

@@ -17,7 +17,14 @@ standard library:
     Readiness: 200 once the run/sweep has started doing work.
 ``GET /status``
     A JSON snapshot of the :class:`StatusBoard` — the same document
-    ``repro top`` renders.
+    ``repro top`` renders — plus an ``sse`` block with the event
+    bus's publish/drop accounting (per-subscriber ``dropped_events``
+    included, so a slow consumer is visible from the outside).
+``GET /runs``
+    The run-provenance ledger (schema ``repro-ledger/1``) as compact
+    summaries, newest first — the HTTP face of ``repro runs list``.
+    404 when the plane has no ledger attached; ``?limit=N`` caps the
+    rows returned.
 ``GET /events``
     A Server-Sent Events stream (schema ``repro-events/1``) of
     phase/job/attempt events published on the :class:`EventBus`.
@@ -101,6 +108,10 @@ class EventBus:
         self._subscribers: List["_Subscription"] = []
         self._seq = 0
         self.published_total = 0
+        #: Cumulative events dropped across all subscribers, including
+        #: ones that have since unsubscribed (tallied at drop time, so
+        #: a departing slow consumer's losses are not forgotten).
+        self.dropped_total = 0
 
     def publish(self, event_type: str, payload: Optional[dict] = None) -> dict:
         """Publish one event; returns the stamped event document."""
@@ -131,10 +142,24 @@ class EventBus:
             if subscription in self._subscribers:
                 self._subscribers.remove(subscription)
 
+    def _note_drop(self) -> None:
+        with self._lock:
+            self.dropped_total += 1
+
     @property
     def subscriber_count(self) -> int:
         with self._lock:
             return len(self._subscribers)
+
+    def stats(self) -> dict:
+        """Publish/drop accounting (the ``sse`` block on ``/status``)."""
+        with self._lock:
+            return {
+                "subscribers": len(self._subscribers),
+                "published_total": self.published_total,
+                "dropped_events_total": self.dropped_total,
+                "dropped_events": [s.dropped for s in self._subscribers],
+            }
 
 
 class _Subscription:
@@ -150,6 +175,7 @@ class _Subscription:
             self._queue.put_nowait(event)
         except queue.Full:
             self.dropped += 1
+            self._bus._note_drop()
 
     def get(self, timeout: float) -> Optional[dict]:
         """Next event, or ``None`` after ``timeout`` seconds of quiet."""
@@ -209,7 +235,7 @@ class StatusBoard:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes the five endpoints; everything else is 404."""
+    """Routes the six endpoints; everything else is 404."""
 
     #: Set by ObservabilityServer at construction time.
     plane: "ObservabilityServer"
@@ -241,7 +267,7 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
         try:
             if path == "/metrics":
                 self._serve_metrics()
@@ -250,14 +276,19 @@ class _Handler(BaseHTTPRequestHandler):
             elif path == "/readyz":
                 self._serve_probe(self.plane.ready_check)
             elif path == "/status":
-                self._respond_json(200, self.plane.status.snapshot())
+                snapshot = self.plane.status.snapshot()
+                snapshot["sse"] = self.plane.bus.stats()
+                self._respond_json(200, snapshot)
+            elif path == "/runs":
+                self._serve_runs(query)
             elif path == "/events":
                 self._serve_events()
             elif path == "/":
                 self._respond_text(
                     200,
                     "repro observability plane\n"
-                    "endpoints: /metrics /healthz /readyz /status /events\n",
+                    "endpoints: /metrics /healthz /readyz /status /runs "
+                    "/events\n",
                 )
             else:
                 self._respond_text(404, f"unknown path {path}\n")
@@ -273,6 +304,26 @@ class _Handler(BaseHTTPRequestHandler):
             text.encode("utf-8"),
             "text/plain; version=0.0.4; charset=utf-8",
         )
+
+    def _serve_runs(self, query: str) -> None:
+        source = self.plane.runs_source
+        if source is None:
+            self._respond_text(404, "no run ledger attached\n")
+            return
+        limit: Optional[int] = None
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key == "limit":
+                try:
+                    limit = max(0, int(value))
+                except ValueError:
+                    self._respond_text(400, f"bad limit {value!r}\n")
+                    return
+        document = source()
+        if limit is not None and isinstance(document.get("runs"), list):
+            document = dict(document)
+            document["runs"] = document["runs"][:limit]
+        self._respond_json(200, document)
 
     def _serve_probe(self, check: Callable[[], Tuple[bool, str]]) -> None:
         try:
@@ -330,6 +381,12 @@ class ObservabilityServer:
     health_check / ready_check:
         Zero-argument callables returning ``(ok, reason)``; failures
         surface as 503 with the reason in the body.
+    runs_source:
+        Zero-argument callable returning the ``repro-ledger/1`` runs
+        document behind ``GET /runs`` (typically a fresh
+        :func:`repro.provenance.runs_document` over the ledger file,
+        re-read per request so concurrent appenders show up). ``None``
+        leaves the endpoint 404.
     """
 
     def __init__(
@@ -341,12 +398,14 @@ class ObservabilityServer:
         ready_check: Optional[Callable[[], Tuple[bool, str]]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        runs_source: Optional[Callable[[], dict]] = None,
     ) -> None:
         self.metrics_text = metrics_text or (lambda: "")
         self.status = status if status is not None else StatusBoard()
         self.bus = bus if bus is not None else EventBus()
         self.health_check = health_check or _default_health
         self.ready_check = ready_check or _default_health
+        self.runs_source = runs_source
         self._host = host
         self._requested_port = port
         self.stopping = threading.Event()

@@ -54,6 +54,16 @@ from multiprocessing.connection import wait as _conn_wait
 from typing import Dict, List, Optional
 
 from repro.errors import ShardingError, SupervisionError
+from repro.observability.log import new_run_id
+from repro.provenance import (
+    ProcessRing,
+    SpanRecorder,
+    TraceContext,
+    barrier_recv_id,
+    barrier_send_id,
+    estimate_offset,
+    merge_rings,
+)
 from repro.reliability.diagnostics import DegradedEvent, RunDiagnostics
 from repro.sharding.checkpoint import CompositeCheckpoint
 from repro.sharding.plan import ShardPlan
@@ -112,13 +122,27 @@ class ShardedRunResult:
     wall_seconds: float = 0.0
     #: Barrier epochs whose exchange was re-served to a restarted shard.
     replayed_epochs: int = 0
+    #: Provenance correlation id shared by every worker incarnation.
+    run_id: str = ""
+    #: Span rings from the coordinator and every worker incarnation.
+    rings: List[ProcessRing] = field(default_factory=list)
 
     def total_spikes(self) -> int:
         return self.spikes.total_spikes()
 
+    def trace_document(self, network: Optional[str] = None) -> dict:
+        """The merged Chrome/Perfetto trace of this run (see merge)."""
+        return merge_rings(self.rings, run_id=self.run_id, network=network)
+
+    def trace_json(self, network: Optional[str] = None) -> str:
+        import json
+
+        return json.dumps(self.trace_document(network), indent=2)
+
     def to_stats_dict(self) -> dict:
         return {
             "schema": "repro-shard-run/1",
+            "run_id": self.run_id,
             "n_steps": self.n_steps,
             "dt": self.dt,
             "n_shards": self.n_shards,
@@ -145,6 +169,13 @@ class _ShardHandle:
         self.attempt = -1
         self.last_signal = time.monotonic()
         self.capture_path = ""
+        # Provenance bookkeeping, reset on every (re)spawn: the span
+        # sidecar path, (worker_ts, parent_ts) handshake samples for
+        # clock-offset estimation, and whether this incarnation's ring
+        # has already been collected (pipe beats sidecar).
+        self.spans_path = ""
+        self.offset_samples: List[tuple] = []
+        self.ring_collected = False
 
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
@@ -203,6 +234,7 @@ class ShardCoordinator:
         metrics=None,
         status_board=None,
         event_bus=None,
+        run_id: Optional[str] = None,
     ) -> None:
         if spec.shards < 2:
             raise SupervisionError(
@@ -239,6 +271,14 @@ class ShardCoordinator:
         self.diagnostics = RunDiagnostics()
         self.restarts = [0] * spec.shards
         self._replayed_epochs = 0
+        self.run_id = run_id or new_run_id()
+        # The coordinator's own span ring (offset 0 — it *is* the
+        # reference clock) plus the rings harvested from every worker
+        # incarnation. 4096 barrier spans cover hours of epochs.
+        self._spans = SpanRecorder(
+            TraceContext(run_id=self.run_id), max_spans=4096
+        )
+        self._rings: List[ProcessRing] = []
 
         network, plan = self._derive_plan()
         self._network = network
@@ -258,6 +298,7 @@ class ShardCoordinator:
         self._last_composite_epoch = -1
         self._epoch_released = -1  # newest epoch whose exchange was sent
         self._barrier_opened: Dict[int, float] = {}
+        self._barrier_opened_wall: Dict[int, float] = {}
         self._done: Dict[int, dict] = {}
         self._handles: List[_ShardHandle] = []
         self._capture_dir = ""
@@ -303,6 +344,38 @@ class ShardCoordinator:
             "Newest barrier epoch whose exchange has been released.",
         ).set(epoch)
 
+    # -- provenance ---------------------------------------------------------
+
+    def _collect_ring(self, handle: _ShardHandle,
+                      dump: Optional[dict]) -> None:
+        """Adopt one incarnation's span ring (pipe payload or sidecar)."""
+        if handle.ring_collected or not dump:
+            return
+        ring = ProcessRing.from_dump(
+            dump,
+            label=f"shard{handle.shard}#a{handle.attempt}",
+            offset=estimate_offset(handle.offset_samples),
+        )
+        self._rings.append(ring)
+        handle.ring_collected = True
+
+    def _harvest_sidecar(self, handle: _ShardHandle) -> None:
+        """Sidecar exit path: a SIGKILL'd worker never sent its ring."""
+        if handle.ring_collected or not handle.spans_path:
+            return
+        self._collect_ring(handle, SpanRecorder.load_dump(handle.spans_path))
+
+    def _all_rings(self) -> List[ProcessRing]:
+        """Coordinator ring first, then every worker incarnation."""
+        own = ProcessRing(
+            label="coordinator",
+            pid=os.getpid(),
+            offset=0.0,
+            spans=list(self._spans.spans),
+            dropped=self._spans.dropped_spans,
+        )
+        return [own] + list(self._rings)
+
     # -- worker lifecycle --------------------------------------------------
 
     def _spawn(self, handle: _ShardHandle, capture_dir: str) -> None:
@@ -315,6 +388,11 @@ class ShardCoordinator:
         handle.capture_path = os.path.join(
             capture_dir, f"shard{shard}.a{handle.attempt}.out"
         )
+        handle.spans_path = os.path.join(
+            capture_dir, f"shard{shard}.a{handle.attempt}.spans.json"
+        )
+        handle.offset_samples = []
+        handle.ring_collected = False
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=shard_worker_entry,
@@ -332,6 +410,12 @@ class ShardCoordinator:
             "start_epoch": start_epoch,
             "heartbeat_interval": self.config.heartbeat_interval,
             "checkpoint_every": self.checkpoint_every,
+            "trace": TraceContext(
+                run_id=self.run_id, shard_id=shard,
+                attempt=handle.attempt,
+                parent_span=f"barrier:{self.run_id}",
+            ).to_payload(),
+            "spans_path": handle.spans_path,
             "chaos": (
                 self.chaos.payload()
                 if self.chaos is not None and self.chaos.shard == shard
@@ -363,6 +447,7 @@ class ShardCoordinator:
                        f"{handle.attempt + 1} attempt(s)",
             )
         handle.kill()
+        self._harvest_sidecar(handle)
         self._inc_restarts(shard, reason)
         # Windows the dead shard contributed to un-released epochs are
         # void — the restarted worker re-produces them.
@@ -411,6 +496,10 @@ class ShardCoordinator:
                 finally:
                     for handle in handles:
                         handle.kill()
+                        # Rings not shipped over the pipe (degradation,
+                        # teardown) are recovered from sidecars before
+                        # the capture dir vanishes with this block.
+                        self._harvest_sidecar(handle)
         except _DegradeRun as degrade:
             return self._degrade(degrade, start)
         spikes = merge_spikes(
@@ -429,6 +518,8 @@ class ShardCoordinator:
             spike_digest=spike_digest(spikes),
             wall_seconds=time.monotonic() - start,
             replayed_epochs=self._replayed_epochs,
+            run_id=self.run_id,
+            rings=self._all_rings(),
         )
         if self.status_board is not None:
             self.status_board.update(state="finished")
@@ -514,6 +605,10 @@ class ShardCoordinator:
     def _handle_message(self, handle: _ShardHandle, kind: str,
                         body: dict) -> None:
         shard = handle.shard
+        if isinstance(body, dict) and body.get("ts") is not None:
+            # Every stamped inbound message is a clock-offset sample
+            # (worker wall-clock send time vs our wall-clock receive).
+            handle.offset_samples.append((float(body["ts"]), time.time()))
         if kind == "heartbeat":
             self._shard_row(
                 shard, state="running", step=body.get("step"),
@@ -534,6 +629,7 @@ class ShardCoordinator:
             return
         if kind == "done":
             self._done[shard] = body
+            self._collect_ring(handle, body.get("spans"))
             self._shard_row(
                 shard, state="done", step=body.get("steps"),
                 restarts=self.restarts[shard],
@@ -546,6 +642,7 @@ class ShardCoordinator:
             return
         if kind == "failed":
             raise_reason = body.get("kind", "crash")
+            self._collect_ring(handle, body.get("spans"))
             self._shard_row(shard, state="failed", error=body.get("error"))
             self._restart(handle, raise_reason)
             return
@@ -583,6 +680,7 @@ class ShardCoordinator:
         parts = self._pending.setdefault(epoch, {})
         if not parts:
             self._barrier_opened[epoch] = time.monotonic()
+            self._barrier_opened_wall[epoch] = time.time()
         parts[shard] = body
         self._shard_row(
             shard, state="at-barrier", epoch=epoch, step=body.get("step"),
@@ -595,7 +693,24 @@ class ShardCoordinator:
         """All shards reached ``epoch``: merge, cache, broadcast."""
         parts = self._pending.pop(epoch)
         opened = self._barrier_opened.pop(epoch, time.monotonic())
-        self._observe_barrier_wait(time.monotonic() - opened)
+        wait = time.monotonic() - opened
+        self._observe_barrier_wait(wait)
+        # The same observation, as an explicit span on the coordinator
+        # track: first window arrival → release. Flow markers tie it to
+        # every shard's send span (in) and receive span (out), which is
+        # what makes a barrier stall visually attributable in Perfetto.
+        n_shards = self.spec.shards
+        self._spans.record(
+            f"barrier e{epoch}",
+            "barrier",
+            self._barrier_opened_wall.pop(epoch, time.time() - wait),
+            wait,
+            args={"epoch": epoch, "wait_seconds": round(wait, 6)},
+            flow_in=[barrier_send_id(epoch, s, n_shards)
+                     for s in range(n_shards)],
+            flow_out=[barrier_recv_id(epoch, s, n_shards)
+                      for s in range(n_shards)],
+        )
         # Releasing the barrier is a liveness event for every shard: a
         # waiter's last message may be arbitrarily old (it sent its
         # window, then blocked in recv), and without this reset the
@@ -712,6 +827,8 @@ class ShardCoordinator:
             spike_digest=spike_digest(result.spikes),
             wall_seconds=time.monotonic() - start,
             replayed_epochs=self._replayed_epochs,
+            run_id=self.run_id,
+            rings=self._all_rings(),
         )
 
 

@@ -78,7 +78,10 @@ class _ShardHeartbeat:
         if self._broken:
             return
         try:
-            self.conn.send(("heartbeat", {"step": step, "phase": phase}))
+            self.conn.send(
+                ("heartbeat",
+                 {"step": step, "phase": phase, "ts": time.time()})
+            )
         except (BrokenPipeError, OSError):
             self._broken = True
 
@@ -129,7 +132,18 @@ def shard_worker_entry(conn, capture_path: Optional[str] = None) -> None:
     chaos_stall_epoch = chaos.get("stall_epoch")
 
     from repro.errors import ShardingError
+    from repro.provenance import (
+        SpanRecorder,
+        TraceContext,
+        barrier_recv_id,
+        barrier_send_id,
+    )
     from repro.sharding.runner import window_digest
+
+    context = TraceContext.from_payload(payload.get("trace"))
+    spans = SpanRecorder(
+        context, sidecar_path=payload.get("spans_path")
+    )
 
     step = -1
     try:
@@ -156,22 +170,38 @@ def shard_worker_entry(conn, capture_path: Optional[str] = None) -> None:
                 "attempt": attempt,
                 "step": step,
                 "start_epoch": start_epoch,
+                "ts": time.time(),
             })
         )
         heartbeat = _ShardHeartbeat(conn, heartbeat_interval)
         n_epochs = plan.epochs_for(spec.steps)
+        n_shards = plan.n_shards
         for epoch in range(start_epoch, n_epochs):
             length = plan.window_length(epoch, spec.steps)
+            window_start = time.time()
             window = runner.run_window(
                 length, on_step=lambda s: heartbeat.beat(s)
             )
             step = runner.step
+            spans.record(
+                f"window e{epoch}",
+                "window",
+                window_start,
+                time.time() - window_start,
+                args={"step": step, "epoch": epoch},
+                flow_out=[barrier_send_id(epoch, shard, n_shards)],
+            )
             if chaos_armed and epoch == chaos_kill_epoch:
                 # Die *after* the window is computed but *before* it is
                 # sent: the worst moment — the coordinator has nothing
                 # from this shard for this epoch and must restart it.
+                # The span sidecar is the only exit path for this
+                # incarnation's ring, so flush it first (the flight
+                # recorder does the same before its chaos kill).
+                spans.sync(force=True)
                 os.kill(os.getpid(), signal.SIGKILL)
             if chaos_armed and epoch == chaos_stall_epoch:
+                spans.sync(force=True)
                 while True:  # pragma: no cover - killed by the watchdog
                     time.sleep(3600)
             conn.send(
@@ -181,9 +211,19 @@ def shard_worker_entry(conn, capture_path: Optional[str] = None) -> None:
                     "fired": window,
                     "digest": window_digest(window),
                     "step": step,
+                    "ts": time.time(),
                 })
             )
+            wait_start = time.time()
             kind, body = conn.recv()
+            spans.record(
+                f"barrier-wait e{epoch}",
+                "barrier",
+                wait_start,
+                time.time() - wait_start,
+                args={"epoch": epoch},
+                flow_in=[barrier_recv_id(epoch, shard, n_shards)],
+            )
             if kind == "stop":
                 conn.send(("stopped", {"shard": shard, "step": step}))
                 return
@@ -197,7 +237,16 @@ def shard_worker_entry(conn, capture_path: Optional[str] = None) -> None:
                     f"shard {shard} got an exchange for epoch "
                     f"{body.get('epoch')!r} while waiting on {epoch}"
                 )
+            exchange_start = time.time()
             runner.apply_exchange(body["fired"], length)
+            spans.record(
+                f"exchange e{epoch}",
+                "exchange",
+                exchange_start,
+                time.time() - exchange_start,
+                args={"epoch": epoch},
+            )
+            spans.sync()
             if (
                 checkpoint_every
                 and (epoch + 1) % checkpoint_every == 0
@@ -216,20 +265,21 @@ def shard_worker_entry(conn, capture_path: Optional[str] = None) -> None:
                 "steps": runner.step,
                 "total_spikes": runner.recorder.total_spikes(),
                 "spikes": runner.recorder.snapshot(),
+                "spans": spans.dump(),
             })
         )
     except MemoryError as error:
-        _send_failure(conn, "oom-like", error, shard, step)
+        _send_failure(conn, "oom-like", error, shard, step, spans)
         sys.exit(1)
     except BaseException as error:  # noqa: BLE001 - classified, reported
-        _send_failure(conn, "crash", error, shard, step)
+        _send_failure(conn, "crash", error, shard, step, spans)
         sys.exit(1)
     finally:
         conn.close()
 
 
 def _send_failure(conn, kind: str, error: BaseException, shard: int,
-                  step: int) -> None:
+                  step: int, spans=None) -> None:
     """Traceback to stderr (the capture file) + structured message."""
     import traceback
 
@@ -243,6 +293,7 @@ def _send_failure(conn, kind: str, error: BaseException, shard: int,
                 "error": repr(error),
                 "step": step,
                 "traceback": traceback.format_exc(),
+                "spans": spans.dump() if spans is not None else None,
             })
         )
     except (BrokenPipeError, OSError):  # pragma: no cover - parent gone

@@ -267,11 +267,14 @@ class SweepReport:
         return log_stream_document(self.log_records, run_id=self.run_id)
 
     def trace_json(self) -> dict:
-        """The worker-lifetime spans as a Trace Event JSON document."""
+        """The sweep's merged trace as a Trace Event JSON document."""
         return {
             "traceEvents": list(self.trace_events),
             "displayTimeUnit": "ms",
-            "otherData": {"schema": "repro-sweep-trace/1"},
+            "otherData": {
+                "schema": "repro-sweep-trace/1",
+                "run_id": self.run_id,
+            },
         }
 
 

@@ -65,6 +65,12 @@ import numpy as np
 from repro.errors import SupervisionError
 from repro.observability.log import StructuredLogger, merge_records, new_run_id
 from repro.observability.recorder import FlightRecorder
+from repro.provenance import (
+    ProcessRing,
+    SpanRecorder,
+    TraceContext,
+    estimate_offset,
+)
 from repro.supervision.backoff import RetryPolicy
 from repro.supervision.config import SupervisorConfig
 from repro.supervision.job import (
@@ -204,7 +210,9 @@ class Supervisor:
         self._lock = threading.Lock()
         self._numerics_failures: Dict[str, int] = {}
         self._spans: List[dict] = []
+        self._worker_rings: List[ProcessRing] = []
         self._sweep_start = 0.0
+        self._sweep_start_wall = 0.0
         self._log_records: List[dict] = []
         self._totals: Dict[str, int] = {}
         self._logger = StructuredLogger(
@@ -295,12 +303,14 @@ class Supervisor:
             duplicates = sorted({n for n in names if names.count(n) > 1})
             raise SupervisionError(f"duplicate job names: {duplicates}")
         self._spans = []
+        self._worker_rings = []
         with self._lock:
             self._log_records = []
             self._totals = {
                 "total": len(jobs), "completed": 0, "failed": 0, "retries": 0,
             }
         self._sweep_start = time.monotonic()
+        self._sweep_start_wall = time.time()
         if self.status_board is not None:
             self.status_board.update(
                 state="running",
@@ -488,6 +498,7 @@ class Supervisor:
         attempt_base = f"{checkpoint_path}.a{attempt}"
         capture_path = attempt_base + ".out"
         flight_path = attempt_base + ".flight.json"
+        spans_path = attempt_base + ".spans.json"
         payload = {
             "spec": spec_payload,
             "attempt": attempt,
@@ -497,6 +508,11 @@ class Supervisor:
             "heartbeat_interval": self.heartbeat_interval,
             "run_id": self.run_id,
             "flight_path": flight_path,
+            "trace": TraceContext(
+                run_id=self.run_id, job_id=spec.name, attempt=attempt,
+                parent_span=f"{spec.name} #{attempt}",
+            ).to_payload(),
+            "spans_path": spans_path,
         }
         self._publish_event(
             "attempt-start",
@@ -520,6 +536,7 @@ class Supervisor:
         max_lag = 0.0
         steps_completed = 0
         resumed_from = 0
+        offset_samples: List[Tuple[float, float]] = []
         try:
             parent_conn.send(payload)
             while True:
@@ -536,6 +553,12 @@ class Supervisor:
                     lag = now - last_beat
                     max_lag = max(max_lag, lag)
                     last_beat = now
+                    if isinstance(data, dict) and data.get("ts") is not None:
+                        # Handshake timestamps feed the per-process
+                        # clock-offset estimate the trace merge uses.
+                        offset_samples.append(
+                            (float(data["ts"]), time.time())
+                        )
                     if kind == "started":
                         resumed_from = int(data["resumed_from_step"])
                         steps_completed = resumed_from
@@ -616,7 +639,11 @@ class Supervisor:
             attempt_report.output_tail = self._read_output_tail(
                 terminal, capture_path
             )
-        for leftover in (capture_path, flight_path):
+        self._recover_spans(
+            terminal, spans_path, spec, attempt, offset_samples,
+            process.pid,
+        )
+        for leftover in (capture_path, flight_path, spans_path):
             try:
                 os.unlink(leftover)
             except OSError:
@@ -649,6 +676,40 @@ class Supervisor:
             if isinstance(dump, dict):
                 return dump
         return FlightRecorder.load_dump(flight_path)
+
+    def _recover_spans(
+        self,
+        terminal: Optional[Tuple[str, dict]],
+        spans_path: str,
+        spec: JobSpec,
+        attempt: int,
+        offset_samples: List[Tuple[float, float]],
+        pid: Optional[int],
+    ) -> None:
+        """Adopt the attempt's span ring over its dual exit paths.
+
+        ``done``/``failed`` pipe messages carry the ring inline; a
+        SIGKILLed or hung worker left only the sidecar its heartbeats
+        synced. Either way the ring becomes one process track in the
+        sweep's merged trace, tagged with the clock offset estimated
+        from this attempt's handshake timestamps.
+        """
+        dump = None
+        if terminal is not None and isinstance(terminal[1], dict):
+            dump = terminal[1].get("spans")
+        if not isinstance(dump, dict):
+            dump = SpanRecorder.load_dump(spans_path)
+        if not dump:
+            return
+        ring = ProcessRing.from_dump(
+            dump,
+            label=f"worker:{spec.name}#a{attempt}",
+            offset=estimate_offset(offset_samples),
+        )
+        if not ring.pid and pid:
+            ring.pid = pid
+        with self._lock:
+            self._worker_rings.append(ring)
 
     @staticmethod
     def _read_output_tail(
@@ -724,7 +785,15 @@ class Supervisor:
             )
 
     def _trace_events(self, jobs: Sequence[JobSpec]) -> List[dict]:
-        """Worker-lifetime spans plus Perfetto track metadata."""
+        """The sweep's distributed trace: lifetime + worker tracks.
+
+        One track per job holds the supervisor-side worker-lifetime
+        spans (as before); behind those, one track per worker
+        *incarnation* holds the phase-span ring that process shipped
+        back, with its wall-clock timestamps offset-corrected onto the
+        supervisor clock and rebased to the sweep start — so a resumed
+        attempt's track visibly starts where the killed one stopped.
+        """
         tids = {job.name: index + 1 for index, job in enumerate(jobs)}
         events: List[dict] = [
             {
@@ -750,4 +819,39 @@ class Supervisor:
                 span = dict(span)
                 span["tid"] = tids.get(span["args"]["job"], 0)
                 events.append(span)
+            rings = list(self._worker_rings)
+        next_tid = len(jobs) + 1
+        for ring in rings:
+            tid = next_tid
+            next_tid += 1
+            label = ring.label + (f" (pid {ring.pid})" if ring.pid else "")
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+            for span in sorted(
+                ring.spans, key=lambda s: float(s.get("ts", 0.0))
+            ):
+                start = (
+                    float(span.get("ts", 0.0))
+                    - ring.offset
+                    - self._sweep_start_wall
+                )
+                event = {
+                    "name": span.get("name", "span"),
+                    "cat": span.get("cat", "phase"),
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": round(start * 1e6, 3),
+                    "dur": round(float(span.get("dur", 0.0)) * 1e6, 3),
+                }
+                if span.get("args"):
+                    event["args"] = span["args"]
+                events.append(event)
         return events

@@ -147,10 +147,11 @@ class _HeartbeatHook:
     """
 
     def __init__(self, conn, interval: float = HEARTBEAT_INTERVAL,
-                 flight=None) -> None:
+                 flight=None, spans=None) -> None:
         self.conn = conn
         self.interval = interval
         self.flight = flight
+        self.spans = spans
         self._last = time.monotonic()
         self._broken = False
 
@@ -162,10 +163,17 @@ class _HeartbeatHook:
         if self.flight is not None:
             self.flight.record("heartbeat", step=step, phase=phase)
             self.flight.sync()
+        if self.spans is not None:
+            # The heartbeat cadence keeps the span sidecar fresh too —
+            # the SIGKILL exit path for this process's trace ring.
+            self.spans.sync()
         if self._broken:
             return
         try:
-            self.conn.send(("heartbeat", {"step": step, "phase": phase}))
+            self.conn.send(
+                ("heartbeat",
+                 {"step": step, "phase": phase, "ts": time.time()})
+            )
         except (BrokenPipeError, OSError):
             # The supervisor went away; keep simulating — the final
             # "done" send will fail loudly if the pipe is truly dead.
@@ -176,10 +184,11 @@ class _ChaosHook:
     """Self-sabotage at a chosen step (chaos tests / CI smoke)."""
 
     def __init__(self, spec: JobSpec, simulator, attempt: int,
-                 degraded: bool, flight=None) -> None:
+                 degraded: bool, flight=None, spans=None) -> None:
         self.spec = spec
         self.simulator = simulator
         self.flight = flight
+        self.spans = spans
         #: Kill/stall/crash chaos applies on one attempt only.
         self.armed = attempt == spec.chaos_attempt
         #: NaN chaos applies while the job still runs its original
@@ -194,8 +203,12 @@ class _ChaosHook:
                 # the post-mortem sees the trigger itself.
                 self.flight.record("chaos", action="kill", step=step)
                 self.flight.sync(force=True)
+            if self.spans is not None:
+                self.spans.sync(force=True)
             os.kill(os.getpid(), signal.SIGKILL)
         if self.armed and step == spec.chaos_stall_at_step:
+            if self.spans is not None:
+                self.spans.sync(force=True)
             while True:  # pragma: no cover - killed by the watchdog
                 time.sleep(3600)
         if self.armed and step == spec.chaos_crash_at_step:
@@ -217,17 +230,21 @@ class _ChaosHook:
 def _make_hooks(spec: JobSpec, simulator, conn, attempt: int,
                 degraded: bool, checkpoint_path: Optional[str],
                 checkpoint_every: int, heartbeat_interval: float,
-                flight=None):
+                flight=None, spans=None):
     """Assemble the worker's hook stack (imports deferred for spawn)."""
     from repro.engine.hooks import PhaseHook
     from repro.reliability.checkpoint import CheckpointHook
     from repro.reliability.guard import NumericsGuard
 
-    heartbeat = _HeartbeatHook(conn, heartbeat_interval, flight=flight)
-    chaos = _ChaosHook(spec, simulator, attempt, degraded, flight=flight)
+    heartbeat = _HeartbeatHook(
+        conn, heartbeat_interval, flight=flight, spans=spans
+    )
+    chaos = _ChaosHook(
+        spec, simulator, attempt, degraded, flight=flight, spans=spans
+    )
 
     class WorkerHook(PhaseHook):
-        """Heartbeats + chaos, fused so the loop dispatches one hook."""
+        """Heartbeats + chaos + spans, fused into one hook dispatch."""
 
         def on_step_start(self, step: int) -> None:
             chaos.trigger(step)
@@ -235,6 +252,11 @@ def _make_hooks(spec: JobSpec, simulator, conn, attempt: int,
         def on_phase(self, phase: str, step: int, seconds: float,
                      operations: int) -> None:
             heartbeat.beat(step, phase)
+            if spans is not None:
+                spans.record(
+                    phase, "phase", time.time() - seconds, seconds,
+                    args={"step": step},
+                )
 
     hooks = [WorkerHook(), NumericsGuard(simulator.backend)]
     if checkpoint_path and checkpoint_every > 0:
@@ -372,6 +394,7 @@ def worker_entry(conn, capture_path: Optional[str] = None) -> None:
     from repro.errors import CheckpointError, NumericsError
     from repro.observability.log import StructuredLogger
     from repro.observability.recorder import FlightRecorder
+    from repro.provenance import SpanRecorder, TraceContext
     from repro.reliability.checkpoint import Checkpoint
 
     context = {"run_id": run_id, "job": spec.name, "attempt": attempt}
@@ -380,6 +403,13 @@ def worker_entry(conn, capture_path: Optional[str] = None) -> None:
         context=context,
         sidecar_path=flight_path,
         sync_interval=float(payload.get("flight_sync_interval", 1.0)),
+    )
+    trace_context = TraceContext.from_payload(
+        payload.get("trace")
+        or {"run_id": run_id, "job_id": spec.name, "attempt": attempt}
+    )
+    spans = SpanRecorder(
+        trace_context, sidecar_path=payload.get("spans_path")
     )
 
     def pipe_sink(record: dict) -> None:
@@ -402,6 +432,7 @@ def worker_entry(conn, capture_path: Optional[str] = None) -> None:
                     "pid": os.getpid(),
                     "attempt": attempt,
                     "resumed_from_step": 0,
+                    "ts": time.time(),
                 })
             )
             log.info(
@@ -414,9 +445,15 @@ def worker_entry(conn, capture_path: Optional[str] = None) -> None:
             )
             flight.sync(force=True)
             heartbeat = _HeartbeatHook(
-                conn, heartbeat_interval, flight=flight
+                conn, heartbeat_interval, flight=flight, spans=spans
             )
+            inline_start = time.time()
             done = _run_sharded_inline(spec, heartbeat=heartbeat)
+            spans.record(
+                f"sharded x{spec.shards}", "window", inline_start,
+                time.time() - inline_start,
+                args={"steps": int(done["steps"])},
+            )
             step = int(done["steps"])
             log.info(
                 "worker-done",
@@ -425,6 +462,7 @@ def worker_entry(conn, capture_path: Optional[str] = None) -> None:
                 steps=step,
                 total_spikes=done["total_spikes"],
             )
+            done["spans"] = spans.dump()
             conn.send(("done", done))
             return
         simulator, network = _build_simulator(spec)
@@ -451,6 +489,7 @@ def worker_entry(conn, capture_path: Optional[str] = None) -> None:
                 "pid": os.getpid(),
                 "attempt": attempt,
                 "resumed_from_step": resumed_from,
+                "ts": time.time(),
             })
         )
         log.info(
@@ -467,7 +506,7 @@ def worker_entry(conn, capture_path: Optional[str] = None) -> None:
         hooks = _make_hooks(
             spec, simulator, conn, attempt, degraded,
             checkpoint_path, checkpoint_every, heartbeat_interval,
-            flight=flight,
+            flight=flight, spans=spans,
         )
         remaining = spec.steps - resumed_from
         if remaining < 0:
@@ -493,25 +532,28 @@ def worker_entry(conn, capture_path: Optional[str] = None) -> None:
                 "profile": _profile_payload(
                     spec, network, result, max(1, remaining)
                 ),
+                "spans": spans.dump(),
             })
         )
     except NumericsError as error:
         _send_failure(
-            conn, "numerics", error, getattr(error, "step", step), flight, log
+            conn, "numerics", error, getattr(error, "step", step), flight,
+            log, spans,
         )
         sys.exit(1)
     except MemoryError as error:
-        _send_failure(conn, "oom-like", error, step, flight, log)
+        _send_failure(conn, "oom-like", error, step, flight, log, spans)
         sys.exit(1)
     except BaseException as error:  # noqa: BLE001 - classified, reported
-        _send_failure(conn, "crash", error, step, flight, log)
+        _send_failure(conn, "crash", error, step, flight, log, spans)
         sys.exit(1)
     finally:
         conn.close()
 
 
 def _send_failure(
-    conn, kind: str, error: BaseException, step: int, flight=None, log=None
+    conn, kind: str, error: BaseException, step: int, flight=None, log=None,
+    spans=None,
 ) -> None:
     """Report a caught failure: traceback to stderr (the capture file),
     a log record, a forced flight-recorder sync, and the structured
@@ -547,6 +589,7 @@ def _send_failure(
                 "step": step,
                 "traceback": trace_text,
                 "flight": flight_dump,
+                "spans": spans.dump() if spans is not None else None,
             })
         )
     except (BrokenPipeError, OSError):  # pragma: no cover - parent gone

@@ -95,6 +95,7 @@ def profile_workload(
     seed: int = 7,
     dt: float = DT,
     trace_path: Optional[str] = None,
+    run_id: str = "",
 ) -> dict:
     """Profile one workload; returns its ``BENCH_profile.json`` entry.
 
@@ -129,7 +130,7 @@ def profile_workload(
 
     metrics = MetricsRegistry()
     events_per_step = 3 + len(network.populations)
-    trace = TraceHook(max_events=steps * events_per_step)
+    trace = TraceHook(max_events=steps * events_per_step, run_id=run_id)
     perf_counter = time.perf_counter
 
     # Warm-up both paths: lazy plan binding, allocator, caches — and
@@ -227,13 +228,19 @@ def run_profile(
     dt: float = DT,
     trace_path: Optional[str] = None,
     progress=None,
+    run_id: str = "",
 ) -> dict:
     """Profile several workloads; returns the full JSON payload.
 
     ``trace_path`` saves the first workload's instrumented trace (the
     Perfetto-loadable sample CI uploads). ``progress`` is an optional
-    ``callable(str)`` fed one line per finished workload.
+    ``callable(str)`` fed one line per finished workload. ``run_id``
+    correlates the payload with the provenance ledger (minted when
+    empty).
     """
+    from repro.observability.log import new_run_id
+
+    run_id = run_id or new_run_id()
     entries: Dict[str, dict] = {}
     for index, name in enumerate(workloads):
         entry = profile_workload(
@@ -245,6 +252,7 @@ def run_profile(
             seed=seed,
             dt=dt,
             trace_path=trace_path if index == 0 else None,
+            run_id=run_id,
         )
         entries[name] = entry
         if progress is not None:
@@ -255,6 +263,7 @@ def run_profile(
             )
     return {
         "schema": PROFILE_SCHEMA,
+        "run_id": run_id,
         "dt": dt,
         "steps": steps,
         "scale": scale,

@@ -68,6 +68,7 @@ class TraceHook(PhaseHook):
         self,
         max_events: Optional[int] = DEFAULT_MAX_EVENTS,
         populations: bool = True,
+        run_id: str = "",
     ) -> None:
         #: (kind, name, seconds, step, operations) compact records.
         self._events: Deque[Tuple[int, str, float, int, int]] = deque(
@@ -78,6 +79,9 @@ class TraceHook(PhaseHook):
         #: Total events offered, including ones the ring evicted.
         self.total_events = 0
         self._network_name = ""
+        #: Provenance correlation id stamped into ``otherData`` (ties
+        #: the trace artifact to its ledger entry; "" when untracked).
+        self.run_id = run_id
         #: The simulator skips per-population timing when no attached
         #: hook wants spans, so ``populations=False`` costs nothing.
         self.wants_population_spans = populations
@@ -210,6 +214,7 @@ class TraceHook(PhaseHook):
             "displayTimeUnit": "ms",
             "otherData": {
                 "network": self._network_name,
+                "run_id": self.run_id,
                 "dropped_events": self.dropped_events,
             },
         }

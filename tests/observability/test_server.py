@@ -72,6 +72,28 @@ class TestEventBus:
             assert subscription.dropped == 3
             assert bus.published_total == 5
 
+    def test_drop_total_survives_unsubscribe(self):
+        bus = EventBus(queue_depth=1)
+        with bus.subscribe():
+            bus.publish("a")
+            bus.publish("b")  # dropped: queue full
+        assert bus.subscriber_count == 0
+        assert bus.dropped_total == 1
+
+    def test_stats_reports_per_subscriber_drops(self):
+        bus = EventBus(queue_depth=1)
+        with bus.subscribe() as slow:
+            bus.publish("a")
+            with bus.subscribe() as fresh:
+                bus.publish("b")  # drops on slow only; fresh has room
+                stats = bus.stats()
+        assert stats["subscribers"] == 2
+        assert stats["published_total"] == 2
+        assert stats["dropped_events_total"] == 1
+        assert sorted(stats["dropped_events"]) == [0, 1]
+        assert slow.dropped == 1
+        assert fresh.dropped == 0
+
 
 class TestStatusBoard:
     def test_update_and_snapshot(self):
@@ -135,7 +157,10 @@ class TestObservabilityServer:
             assert code == 200
 
             code, body, _ = _get(f"{server.url}/status")
-            assert json.loads(body)["state"] == "running"
+            snapshot = json.loads(body)
+            assert snapshot["state"] == "running"
+            assert snapshot["sse"]["subscribers"] == 0
+            assert snapshot["sse"]["dropped_events_total"] == 0
 
             code, body, _ = _get(f"{server.url}/")
             assert code == 200 and "/metrics" in body
@@ -204,6 +229,42 @@ class TestObservabilityServer:
             payload = json.loads(data_line[len("data: "):])
             assert payload["schema"] == EVENTS_SCHEMA
             assert payload["step"] == 1
+
+    def test_runs_endpoint_serves_the_ledger_document(self):
+        document = {
+            "schema": "repro-runs/1",
+            "n_runs": 2,
+            "runs": [{"run_id": "run-b"}, {"run_id": "run-a"}],
+        }
+        with ObservabilityServer(
+            runs_source=lambda: document, port=0
+        ) as server:
+            code, body, _ = _get(f"{server.url}/runs")
+            assert code == 200
+            assert json.loads(body) == document
+
+            code, body, _ = _get(f"{server.url}/runs?limit=1")
+            truncated = json.loads(body)
+            assert truncated["n_runs"] == 2
+            assert [row["run_id"] for row in truncated["runs"]] == ["run-b"]
+
+            code, body, _ = _get(f"{server.url}/")
+            assert "/runs" in body
+
+    def test_runs_endpoint_bad_limit_is_400(self):
+        with ObservabilityServer(
+            runs_source=lambda: {"runs": []}, port=0
+        ) as server:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"{server.url}/runs?limit=soon")
+            assert caught.value.code == 400
+
+    def test_runs_endpoint_without_ledger_is_404(self):
+        with ObservabilityServer(port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"{server.url}/runs")
+            assert caught.value.code == 404
+            assert "no run ledger" in caught.value.read().decode("utf-8")
 
     def test_double_start_rejected(self):
         server = ObservabilityServer(port=0)

@@ -1,0 +1,142 @@
+"""``repro runs``: list/show/diff/trace against a synthetic ledger."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.provenance import append_entry, make_entry
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    path = str(tmp_path / "ledger.jsonl")
+    append_entry(path, make_entry(
+        "run", "run-aaaa11112222",
+        {"workload": "Brunel", "seed": 3},
+        workload="Brunel", backend="reference", shards=0, steps=300,
+        scale=0.05, seed=3, dt=1e-4, spike_digest="a" * 64,
+        outcome="completed", duration=2.0,
+    ))
+    append_entry(path, make_entry(
+        "run", "run-bbbb33334444",
+        {"workload": "Brunel", "seed": 3, "shards": 2},
+        workload="Brunel", backend="reference", shards=2, steps=300,
+        scale=0.05, seed=3, dt=1e-4, spike_digest="a" * 64,
+        outcome="completed", duration=3.0,
+        trace_rings=[
+            {
+                "label": "coordinator", "pid": 1, "offset": 0.0,
+                "spans": [
+                    {"name": "barrier e0", "cat": "barrier", "ts": 1.0,
+                     "dur": 0.1, "flow_in": [0]},
+                ],
+                "dropped": 0,
+            },
+            {
+                "label": "shard0#a0", "pid": 2, "offset": 0.5,
+                "spans": [
+                    {"name": "window e0", "cat": "window", "ts": 1.2,
+                     "dur": 0.3, "flow_out": [0]},
+                ],
+                "dropped": 0,
+            },
+        ],
+    ))
+    append_entry(path, make_entry(
+        "run", "run-cccc55556666",
+        {"workload": "Brunel", "seed": 99},
+        workload="Brunel", backend="reference", shards=0, steps=300,
+        scale=0.05, seed=99, dt=1e-4, spike_digest="c" * 64,
+        outcome="completed", duration=2.0,
+    ))
+    return path
+
+
+class TestList:
+    def test_lists_all_runs(self, ledger, capsys):
+        assert main(["runs", "--ledger", ledger, "list"]) == 0
+        out = capsys.readouterr().out
+        assert "run-aaaa11112222" in out
+        assert "run-bbbb33334444" in out
+        assert "3 of 3 run(s)" in out
+
+    def test_kind_filter(self, ledger, capsys):
+        assert main(
+            ["runs", "--ledger", ledger, "list", "--kind", "sweep"]
+        ) == 0
+        assert "no matching runs" in capsys.readouterr().out
+
+    def test_empty_ledger(self, tmp_path, capsys):
+        path = str(tmp_path / "absent.jsonl")
+        assert main(["runs", "--ledger", path, "list"]) == 0
+        assert "no matching runs" in capsys.readouterr().out
+
+
+class TestShow:
+    def test_show_by_prefix_prints_entry_json(self, ledger, capsys):
+        assert main(["runs", "--ledger", ledger, "show", "run-aaaa"]) == 0
+        entry = json.loads(capsys.readouterr().out)
+        assert entry["run_id"] == "run-aaaa11112222"
+        assert entry["spike_digest"] == "a" * 64
+
+    def test_show_omits_rings_unless_full(self, ledger, capsys):
+        assert main(["runs", "--ledger", ledger, "show", "run-bbbb"]) == 0
+        entry = json.loads(capsys.readouterr().out)
+        assert "omitted" in entry["trace_rings"]
+        assert main(
+            ["runs", "--ledger", ledger, "show", "run-bbbb", "--full"]
+        ) == 0
+        entry = json.loads(capsys.readouterr().out)
+        assert len(entry["trace_rings"]) == 2
+
+    def test_unknown_id_exits_2(self, ledger, capsys):
+        assert main(["runs", "--ledger", ledger, "show", "run-zz"]) == 2
+        assert "no ledger entry" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_matching_digests_exit_0(self, ledger, capsys):
+        assert main(
+            ["runs", "--ledger", ledger, "diff", "run-aaaa", "run-bbbb"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "spike digests match" in out
+        assert "shards" in out  # benign difference still listed
+
+    def test_digest_divergence_exits_1(self, ledger, capsys):
+        assert main(
+            ["runs", "--ledger", ledger, "diff", "run-aaaa", "run-cccc"]
+        ) == 1
+        assert "SPIKE DIGEST DIVERGENCE" in capsys.readouterr().out
+
+    def test_ambiguous_prefix_exits_2(self, ledger, capsys):
+        assert main(
+            ["runs", "--ledger", ledger, "diff", "run", "run-aaaa"]
+        ) == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_remerges_recorded_rings(self, ledger, tmp_path, capsys):
+        out_path = str(tmp_path / "merged.json")
+        assert main(
+            ["runs", "--ledger", ledger, "trace", "run-bbbb",
+             "-o", out_path]
+        ) == 0
+        document = json.load(open(out_path))
+        tracks = [
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["name"] == "thread_name"
+        ]
+        assert tracks == ["coordinator (pid 1)", "shard0#a0 (pid 2)"]
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert {"s", "f"} <= phases  # the barrier flow arrow survived
+        assert document["otherData"]["run_id"] == "run-bbbb33334444"
+
+    def test_entry_without_rings_exits_2(self, ledger, capsys):
+        assert main(
+            ["runs", "--ledger", ledger, "trace", "run-aaaa"]
+        ) == 2
+        assert "no trace rings" in capsys.readouterr().err
