@@ -17,7 +17,11 @@ Subcommands:
     Telemetry: ``--trace OUT.json`` writes a Perfetto/chrome://tracing
     timeline, ``--stats-json PATH`` dumps the run's statistics as
     JSON, ``--prometheus PATH`` writes the metrics registry in
-    Prometheus text exposition format. SIGINT/SIGTERM stop the run
+    Prometheus text exposition format. ``--alerts SPEC.json`` attaches
+    the health layer: streaming anomaly detectors feed an alert rules
+    engine whose pending/firing/resolved state is served on
+    ``GET /alerts``, streamed on SSE, and recorded in the ledger
+    entry (also on ``sweep``). SIGINT/SIGTERM stop the run
     gracefully at the next step boundary: a final checkpoint is
     written, partial statistics land in ``--stats-json`` (marked
     ``"partial": true``), and the process exits 130 (SIGINT) or
@@ -63,7 +67,8 @@ Subcommands:
 ``runs``
     Query the run-provenance ledger (``ledger.jsonl``, schema
     ``repro-ledger/1``) that ``run``/``sweep``/``bench``/``profile``
-    append to: ``list`` recent runs, ``show RUN_ID`` one full entry,
+    append to: ``list`` recent runs (``--json`` for one record per
+    line), ``show RUN_ID`` one full entry,
     ``diff A B`` two entries field by field (exit 1 when their spike
     digests diverge — the reproducibility alarm), and ``trace RUN_ID``
     to re-merge a sharded run's recorded span rings into a
@@ -137,17 +142,23 @@ def _cmd_microcode(args) -> int:
 def _start_plane(
     bind: str, port_file, metrics, status, bus,
     health_check=None, ready_check=None, ledger_path=None,
+    alerts_source=None,
 ):
     """Start the observability HTTP plane behind a ``--serve`` flag."""
+    from repro.health.resources import ResourceSampler
     from repro.io import atomic_write_text
     from repro.observability import ObservabilityServer, parse_serve_spec
 
     host, port = parse_serve_spec(bind)
+    resources = ResourceSampler()
 
     def metrics_text() -> str:
-        # Publish-at-collect: the bus's cumulative SSE drop tally is
-        # copied into the counter on each scrape, so a slow /events
-        # consumer shows up on /metrics without touching the hot path.
+        # Publish-at-collect: the process's own RSS/CPU/fd gauges and
+        # the bus's cumulative SSE drop tally are refreshed on each
+        # scrape, so self-telemetry costs nothing between scrapes and a
+        # slow /events consumer shows up on /metrics without touching
+        # the hot path.
+        resources.publish(metrics)
         if bus is not None:
             metrics.counter(
                 "sse_dropped_events_total",
@@ -183,11 +194,14 @@ def _start_plane(
         host=host,
         port=port,
         runs_source=runs_source,
+        alerts_source=alerts_source,
     )
     server.start()
     if port_file:
         atomic_write_text(port_file, f"{server.port}\n")
     endpoints = "/metrics /healthz /readyz /status" + (
+        " /alerts" if alerts_source is not None else ""
+    ) + (
         " /runs" if runs_source is not None else ""
     ) + " /events"
     print(f"observability plane at {server.url} ({endpoints})")
@@ -276,6 +290,33 @@ def _runtime_health_check(simulator, status):
     return health_check, ready_check
 
 
+def _alert_manager(args, status=None, bus=None, metrics=None):
+    """Build the alert engine behind a ``--alerts`` flag (None = off)."""
+    spec = getattr(args, "alerts", None)
+    if not spec:
+        return None
+    from repro.health import AlertManager, load_alert_rules
+
+    rules = load_alert_rules(spec)
+    print(f"alerting: {len(rules)} rule(s) loaded from {spec!r}")
+    return AlertManager(rules, status=status, bus=bus, metrics=metrics)
+
+
+def _print_alert_summary(manager) -> Optional[dict]:
+    """Print the final alert tallies; returns the summary dict."""
+    if manager is None:
+        return None
+    summary = manager.summary()
+    fired = summary["fired"]
+    print(
+        f"alerts: {summary['fired_total']} fired"
+        + (f" ({', '.join(fired)})" if fired else "")
+        + f", {summary['firing']} still firing, "
+        f"{summary['resolved']} resolved"
+    )
+    return summary
+
+
 def _run_sharded(args) -> int:
     """``repro run --shards N``: the fault-tolerant sharded path."""
     import time
@@ -317,7 +358,7 @@ def _run_sharded(args) -> int:
             stall_epoch=args.chaos_shard_stall,
         )
     metrics = None
-    if args.stats_json or args.prometheus or args.serve:
+    if args.stats_json or args.prometheus or args.serve or args.alerts:
         from repro.telemetry import MetricsRegistry
 
         metrics = MetricsRegistry()
@@ -327,6 +368,13 @@ def _run_sharded(args) -> int:
 
         status = StatusBoard(state="starting")
         bus = EventBus()
+    manager = _alert_manager(args, status=status, bus=bus, metrics=metrics)
+    monitor = None
+    if manager is not None:
+        from repro.health import HealthMonitor
+
+        monitor = HealthMonitor(manager, metrics=metrics)
+    if args.serve:
 
         def ready_check():
             state = status.snapshot().get("state")
@@ -338,6 +386,7 @@ def _run_sharded(args) -> int:
         server = _start_plane(
             args.serve, args.serve_port_file, metrics, status, bus,
             ready_check=ready_check, ledger_path=_ledger_path(args),
+            alerts_source=None if manager is None else manager.document,
         )
     run_id = new_run_id()
     coordinator = ShardCoordinator(
@@ -352,6 +401,7 @@ def _run_sharded(args) -> int:
         status_board=status,
         event_bus=bus,
         run_id=run_id,
+        health=monitor,
     )
     print(f"{spec}")
     print(f"run ID: {run_id}")
@@ -373,7 +423,11 @@ def _run_sharded(args) -> int:
             )
         )
     wall_start = time.monotonic()
-    result = coordinator.run()
+    try:
+        result = coordinator.run()
+    finally:
+        if monitor is not None:
+            monitor.finish()
     wall_seconds = time.monotonic() - wall_start
     duration = result.n_steps * args.dt
     print(
@@ -389,6 +443,7 @@ def _run_sharded(args) -> int:
         print("degraded to single-process execution:")
         for event in result.diagnostics.degraded:
             print(f"  {event.describe()}")
+    alert_summary = _print_alert_summary(manager)
     if args.trace:
         trace_document = result.trace_document(network=args.workload)
         atomic_write_json(args.trace, trace_document)
@@ -399,7 +454,10 @@ def _run_sharded(args) -> int:
             f"chrome://tracing or https://ui.perfetto.dev"
         )
     if args.stats_json:
-        atomic_write_json(args.stats_json, result.to_stats_dict())
+        stats = result.to_stats_dict()
+        if alert_summary is not None:
+            stats["alerts"] = alert_summary
+        atomic_write_json(args.stats_json, stats)
         print(f"wrote run statistics {args.stats_json!r}")
     if args.prometheus:
         atomic_write_text(args.prometheus, metrics.to_prometheus())
@@ -441,6 +499,10 @@ def _run_sharded(args) -> int:
             "checkpoint": args.shard_checkpoint_path,
         },
         trace_rings=[ring.to_dict() for ring in result.rings],
+        extra=(
+            None if alert_summary is None
+            else {"alerts": alert_summary}
+        ),
     ))
     _linger_plane(server, bus, args.serve_linger)
     return 0
@@ -529,21 +591,28 @@ def _cmd_run(args) -> int:
         )
         hooks.append(trace)
     metrics = None
-    if args.stats_json or args.prometheus or args.serve:
+    if args.stats_json or args.prometheus or args.serve or args.alerts:
         from repro.telemetry import MetricsRegistry
 
         metrics = MetricsRegistry()
-    server = bus = None
+    server = bus = status = None
     if args.serve:
         from repro.observability import EventBus, ServeHook, StatusBoard
 
         status = StatusBoard(state="starting")
         bus = EventBus()
         hooks.append(ServeHook(status, bus, metrics=metrics))
+    manager = _alert_manager(args, status=status, bus=bus, metrics=metrics)
+    if manager is not None:
+        from repro.health import HealthHook
+
+        hooks.append(HealthHook(manager, simulator=simulator, metrics=metrics))
+    if args.serve:
         health_check, ready_check = _runtime_health_check(simulator, status)
         server = _start_plane(
             args.serve, args.serve_port_file, metrics, status, bus,
             health_check, ready_check, ledger_path=_ledger_path(args),
+            alerts_source=None if manager is None else manager.document,
         )
     interrupt = InterruptHook(simulator, checkpoint_path=args.checkpoint_path)
     hooks.append(interrupt)
@@ -607,6 +676,7 @@ def _cmd_run(args) -> int:
         print("reliability diagnostics:")
         for line in result.diagnostics.summary().splitlines():
             print(f"  {line}")
+    alert_summary = _print_alert_summary(manager)
     if trace is not None:
         trace.save(args.trace)
         print(
@@ -652,6 +722,10 @@ def _cmd_run(args) -> int:
                 args.checkpoint_path if args.checkpoint_every else None
             ),
         },
+        extra=(
+            None if alert_summary is None
+            else {"alerts": alert_summary}
+        ),
     ))
     _linger_plane(server, bus, args.serve_linger)
     return 0
@@ -688,13 +762,21 @@ def _cmd_sweep(args) -> int:
     ]
     status = bus = server = None
     metrics = None
+    if args.serve or args.alerts:
+        from repro.telemetry import MetricsRegistry
+
+        metrics = MetricsRegistry()
     if args.serve:
         from repro.observability import EventBus, StatusBoard
-        from repro.telemetry import MetricsRegistry
 
         status = StatusBoard(state="starting")
         bus = EventBus()
-        metrics = MetricsRegistry()
+    manager = _alert_manager(args, status=status, bus=bus, metrics=metrics)
+    monitor = None
+    if manager is not None:
+        from repro.health import HealthMonitor
+
+        monitor = HealthMonitor(manager, metrics=metrics)
     supervisor = Supervisor(
         workers=args.workers,
         retry=RetryPolicy(
@@ -738,6 +820,7 @@ def _cmd_sweep(args) -> int:
         server = _start_plane(
             args.serve, args.serve_port_file, metrics, status, bus,
             health_check, ready_check, ledger_path=_ledger_path(args),
+            alerts_source=None if manager is None else manager.document,
         )
     print(f"sweep run ID: {supervisor.run_id}")
     print(
@@ -752,7 +835,15 @@ def _cmd_sweep(args) -> int:
             f"chaos: workers SIGKILL themselves at step "
             f"{args.chaos_kill_at} on their first attempt"
         )
-    report = supervisor.run(jobs)
+    if monitor is not None:
+        # The sweep has no barrier loop driving evaluations, so the
+        # monitor's own cadence thread watches the shared registry.
+        monitor.start()
+    try:
+        report = supervisor.run(jobs)
+    finally:
+        if monitor is not None:
+            monitor.finish()
     rows = []
     for job in report.jobs:
         outcome = job.outcome
@@ -785,8 +876,12 @@ def _cmd_sweep(args) -> int:
         f"\n{len(report.completed)}/{len(report.jobs)} jobs completed "
         f"in {report.wall_seconds:.1f}s"
     )
+    alert_summary = _print_alert_summary(manager)
     if args.stats_json:
-        atomic_write_json(args.stats_json, report.to_dict())
+        report_doc = report.to_dict()
+        if alert_summary is not None:
+            report_doc["alerts"] = alert_summary
+        atomic_write_json(args.stats_json, report_doc)
         print(f"wrote sweep report {args.stats_json!r}")
     if args.trace:
         atomic_write_json(args.trace, report.trace_json())
@@ -845,7 +940,13 @@ def _cmd_sweep(args) -> int:
             "trace": args.trace,
             "log_json": args.log_json,
         },
-        extra={"job_digests": digests},
+        extra={
+            "job_digests": digests,
+            **(
+                {} if alert_summary is None
+                else {"alerts": alert_summary}
+            ),
+        },
     ))
     _linger_plane(server, bus, args.serve_linger)
     return 0 if report.all_completed() else 1
@@ -1337,6 +1438,15 @@ def _cmd_runs(args) -> int:
                 e for e in entries
                 if args.workload in str(e.get("workload") or "")
             ]
+        if args.json:
+            ordered = sorted(
+                entries,
+                key=lambda e: float(e.get("ts", 0.0)),
+                reverse=True,
+            )
+            for entry in ordered[: args.limit]:
+                print(json.dumps(entry, sort_keys=True))
+            return 0
         document = runs_document(entries, limit=args.limit)
         if not document["runs"]:
             print(f"no matching runs in {args.ledger!r}")
@@ -1569,6 +1679,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write run metrics in Prometheus text exposition format",
     )
     _add_serve_flags(run)
+    _add_alert_flags(run)
     _add_ledger_flags(run)
 
     sweep = sub.add_parser(
@@ -1693,6 +1804,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(repro-log/1) as JSON",
     )
     _add_serve_flags(sweep)
+    _add_alert_flags(sweep)
     _add_ledger_flags(sweep)
 
     profile = sub.add_parser(
@@ -1931,6 +2043,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", default=None, metavar="NAME",
         help="only runs whose workload contains NAME",
     )
+    runs_list.add_argument(
+        "--json",
+        action="store_true",
+        help="print one full ledger record per line (newest first) "
+        "instead of the summary table — jq/script friendly",
+    )
     runs_show = runs_sub.add_parser(
         "show", help="print one run's full ledger entry as JSON"
     )
@@ -1973,6 +2091,17 @@ def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
         "--no-ledger",
         action="store_true",
         help="do not record this invocation in the run ledger",
+    )
+
+
+def _add_alert_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--alerts",
+        default=None,
+        metavar="SPEC.json",
+        help="evaluate these alert rules (repro-alerts/1 JSON) against "
+        "the live run: pending -> firing after each rule's for_seconds, "
+        "served on GET /alerts and recorded in the ledger entry",
     )
 
 

@@ -49,6 +49,7 @@ class SpikeRecorder:
     def __init__(self) -> None:
         self._steps: Dict[str, List[np.ndarray]] = {}
         self._neurons: Dict[str, List[np.ndarray]] = {}
+        self._counts: Dict[str, int] = {}
 
     def record(self, population: str, step: int, fired: np.ndarray) -> None:
         """Record the fired mask of one population at one step."""
@@ -64,6 +65,9 @@ class SpikeRecorder:
             np.full(idx.size, step, dtype=np.int64)
         )
         self._neurons.setdefault(population, []).append(idx.astype(np.int64))
+        self._counts[population] = self._counts.get(population, 0) + int(
+            idx.size
+        )
 
     def result(self, population: str) -> SpikeRecord:
         """The accumulated spikes of one population."""
@@ -78,12 +82,18 @@ class SpikeRecorder:
         """Names of populations that produced at least one spike."""
         return sorted(self._steps)
 
+    def counts(self) -> Dict[str, int]:
+        """Cumulative spike count per population (O(populations) reads).
+
+        Maintained incrementally so mid-run consumers — the health
+        layer's spike-rate detector polls this every evaluation — never
+        touch the chunk lists the hot loop is appending to.
+        """
+        return dict(self._counts)
+
     def total_spikes(self) -> int:
         """Total spikes across all populations."""
-        return sum(
-            sum(chunk.size for chunk in chunks)
-            for chunks in self._steps.values()
-        )
+        return sum(self._counts.values())
 
     def digest(self) -> str:
         """SHA-256 over the full spike trains (bit-identity pinning).
@@ -116,11 +126,14 @@ class SpikeRecorder:
         """
         self._steps = {}
         self._neurons = {}
+        self._counts = {}
         for population, (steps, neurons) in snapshot.items():
-            self._steps[population] = [np.asarray(steps, dtype=np.int64).copy()]
+            loaded = np.asarray(steps, dtype=np.int64).copy()
+            self._steps[population] = [loaded]
             self._neurons[population] = [
                 np.asarray(neurons, dtype=np.int64).copy()
             ]
+            self._counts[population] = int(loaded.size)
 
 
 @dataclass

@@ -105,6 +105,9 @@ class SimulationResult:
     #: JSON snapshot of the run's metrics registry (None when the run
     #: was not passed a registry).
     metrics: Optional[Dict[str, dict]] = None
+    #: Alert summary from the health layer's :class:`HealthHook`
+    #: (None when the run carried no alert rules).
+    alerts: Optional[dict] = None
 
     @property
     def neuron_updates(self) -> int:
@@ -164,7 +167,7 @@ class SimulationResult:
         }
         counters["total_spikes"] = self.total_spikes()
         return {
-            "schema": "repro-run-stats/1",
+            "schema": "repro-run-stats/2",
             "network": self.network_name,
             "backend": self.backend_name,
             "n_steps": self.n_steps,
@@ -183,6 +186,7 @@ class SimulationResult:
             "diagnostics": self.diagnostics.to_dict(),
             "hook_errors": [asdict(error) for error in self.hook_errors],
             "metrics": self.metrics,
+            "alerts": self.alerts,
         }
 
 
@@ -631,6 +635,15 @@ class Simulator:
                 {"population": name},
             ).set(value)
         self.backend.publish_metrics(metrics)
+
+    def collect_diagnostics(self) -> RunDiagnostics:
+        """The reliability observations accumulated so far.
+
+        Public because the health layer polls this mid-run: the
+        saturation-growth and event monitors feed on live fallback and
+        clip tallies, not just the end-of-run snapshot.
+        """
+        return self._collect_diagnostics()
 
     def _collect_diagnostics(self) -> RunDiagnostics:
         """Gather reliability observations from the backend's runtimes.

@@ -25,6 +25,11 @@ standard library:
     summaries, newest first — the HTTP face of ``repro runs list``.
     404 when the plane has no ledger attached; ``?limit=N`` caps the
     rows returned.
+``GET /alerts``
+    The health layer's alert document (schema ``repro-alerts/1``):
+    every rule, every alert instance with its pending/firing/resolved
+    state and bounded transition history. 404 when the run carries no
+    alert rules (``--alerts`` not given).
 ``GET /events``
     A Server-Sent Events stream (schema ``repro-events/1``) of
     phase/job/attempt events published on the :class:`EventBus`.
@@ -235,7 +240,7 @@ class StatusBoard:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes the six endpoints; everything else is 404."""
+    """Routes the plane's endpoints; everything else is 404."""
 
     #: Set by ObservabilityServer at construction time.
     plane: "ObservabilityServer"
@@ -281,6 +286,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond_json(200, snapshot)
             elif path == "/runs":
                 self._serve_runs(query)
+            elif path == "/alerts":
+                self._serve_alerts()
             elif path == "/events":
                 self._serve_events()
             elif path == "/":
@@ -288,7 +295,7 @@ class _Handler(BaseHTTPRequestHandler):
                     200,
                     "repro observability plane\n"
                     "endpoints: /metrics /healthz /readyz /status /runs "
-                    "/events\n",
+                    "/alerts /events\n",
                 )
             else:
                 self._respond_text(404, f"unknown path {path}\n")
@@ -324,6 +331,13 @@ class _Handler(BaseHTTPRequestHandler):
             document = dict(document)
             document["runs"] = document["runs"][:limit]
         self._respond_json(200, document)
+
+    def _serve_alerts(self) -> None:
+        source = self.plane.alerts_source
+        if source is None:
+            self._respond_text(404, "no alert rules attached\n")
+            return
+        self._respond_json(200, source())
 
     def _serve_probe(self, check: Callable[[], Tuple[bool, str]]) -> None:
         try:
@@ -387,6 +401,11 @@ class ObservabilityServer:
         :func:`repro.provenance.runs_document` over the ledger file,
         re-read per request so concurrent appenders show up). ``None``
         leaves the endpoint 404.
+    alerts_source:
+        Zero-argument callable returning the ``repro-alerts/1`` alert
+        document behind ``GET /alerts`` (typically an
+        :class:`~repro.health.alerts.AlertManager`'s ``document``
+        bound method). ``None`` leaves the endpoint 404.
     """
 
     def __init__(
@@ -399,6 +418,7 @@ class ObservabilityServer:
         host: str = "127.0.0.1",
         port: int = 0,
         runs_source: Optional[Callable[[], dict]] = None,
+        alerts_source: Optional[Callable[[], dict]] = None,
     ) -> None:
         self.metrics_text = metrics_text or (lambda: "")
         self.status = status if status is not None else StatusBoard()
@@ -406,6 +426,7 @@ class ObservabilityServer:
         self.health_check = health_check or _default_health
         self.ready_check = ready_check or _default_health
         self.runs_source = runs_source
+        self.alerts_source = alerts_source
         self._host = host
         self._requested_port = port
         self.stopping = threading.Event()

@@ -3,8 +3,9 @@
 Polls ``GET /status`` on an observability server (started via ``repro
 serve`` or ``--serve`` on ``repro run`` / ``repro sweep``) and renders
 a refreshing console dashboard: run state and throughput, per-phase
-p50/p95, per-population ops/sec, and — for sweeps — per-job worker
-states, attempts, retries, and breaker trips.
+p50/p95, per-population ops/sec, for sweeps the per-job worker states,
+attempts, retries, and breaker trips, plus the health layer's alert
+pane and the event bus's publish/drop accounting.
 
 Rendering is a pure function of the status document
 (:func:`format_top`), so the view is testable without a server; the
@@ -119,6 +120,27 @@ def format_top(status: dict) -> str:
                 f"{totals.get('retries', 0)} retries, "
                 f"{totals.get('breaker_trips', 0)} breaker trip(s)"
             )
+
+    alerts = status.get("alerts") or {}
+    if alerts:
+        lines.append("")
+        lines.append(
+            f"alerts: {alerts.get('firing', 0)} firing, "
+            f"{alerts.get('pending', 0)} pending, "
+            f"{alerts.get('resolved', 0)} resolved "
+            f"({alerts.get('rules', 0)} rule(s))"
+        )
+        for active in alerts.get("active") or []:
+            lines.append(f"  ! {active}")
+
+    sse = status.get("sse") or {}
+    if sse:
+        lines.append("")
+        lines.append(
+            f"sse: {sse.get('subscribers', 0)} subscriber(s), "
+            f"{sse.get('published_total', 0)} event(s) published, "
+            f"{sse.get('dropped_events_total', 0)} dropped"
+        )
 
     updated = status.get("updated_ts")
     if updated:

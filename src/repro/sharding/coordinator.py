@@ -219,6 +219,11 @@ class ShardCoordinator:
     metrics / status_board / event_bus:
         The observability plane (all optional; a private
         ``MetricsRegistry`` is created when omitted).
+    health:
+        Optional :class:`~repro.health.alerts.HealthMonitor`. The
+        coordinator feeds it every shard's barrier lateness and
+        heartbeat resource sample, and ticks its alert evaluation from
+        the barrier loop.
     """
 
     def __init__(
@@ -235,6 +240,7 @@ class ShardCoordinator:
         status_board=None,
         event_bus=None,
         run_id: Optional[str] = None,
+        health=None,
     ) -> None:
         if spec.shards < 2:
             raise SupervisionError(
@@ -266,6 +272,7 @@ class ShardCoordinator:
         self.metrics = metrics
         self.status_board = status_board
         self.event_bus = event_bus
+        self.health = health
         self._ctx = get_context("spawn")
         self._sleep = time.sleep
         self.diagnostics = RunDiagnostics()
@@ -343,6 +350,34 @@ class ShardCoordinator:
             "shard_epoch",
             "Newest barrier epoch whose exchange has been released.",
         ).set(epoch)
+
+    def _shard_resources(self, shard: int, body: dict) -> dict:
+        """Resource fields riding a heartbeat → gauges, health, status.
+
+        Gauges (not counters): a restarted shard's CPU clock starts at
+        zero again. Heartbeats without the fields contribute nothing.
+        """
+        out = {}
+        rss = body.get("rss_bytes")
+        cpu = body.get("cpu_seconds")
+        if rss is not None:
+            out["rss_bytes"] = float(rss)
+            self.metrics.gauge(
+                "shard_resident_memory_bytes",
+                "Resident set size reported by the shard's latest "
+                "heartbeat.",
+                {"shard": str(shard)},
+            ).set(float(rss))
+        if cpu is not None:
+            out["cpu_seconds"] = float(cpu)
+            self.metrics.gauge(
+                "shard_cpu_seconds",
+                "CPU time consumed by the shard's current incarnation.",
+                {"shard": str(shard)},
+            ).set(float(cpu))
+        if self.health is not None and out:
+            self.health.resource_sample(shard, out)
+        return out
 
     # -- provenance ---------------------------------------------------------
 
@@ -547,6 +582,8 @@ class ShardCoordinator:
                     continue
                 handle.last_signal = time.monotonic()
                 self._handle_message(handle, kind, body)
+            if self.health is not None:
+                self.health.tick()
             now = time.monotonic()
             for handle in handles:
                 if handle.shard in self._done:
@@ -610,9 +647,10 @@ class ShardCoordinator:
             # (worker wall-clock send time vs our wall-clock receive).
             handle.offset_samples.append((float(body["ts"]), time.time()))
         if kind == "heartbeat":
+            resources = self._shard_resources(shard, body)
             self._shard_row(
                 shard, state="running", step=body.get("step"),
-                restarts=self.restarts[shard],
+                restarts=self.restarts[shard], **resources,
             )
             return
         if kind == "started":
@@ -677,11 +715,20 @@ class ShardCoordinator:
                 ("exchange", {"epoch": epoch, "fired": self._cache[epoch]})
             )
             return
+        now = time.monotonic()
         parts = self._pending.setdefault(epoch, {})
         if not parts:
-            self._barrier_opened[epoch] = time.monotonic()
+            self._barrier_opened[epoch] = now
             self._barrier_opened_wall[epoch] = time.time()
         parts[shard] = body
+        if self.health is not None:
+            # This shard's lateness behind the epoch's first arrival —
+            # the per-shard signal the straggler detector compares
+            # against its peers (the barrier histogram only keeps the
+            # first-to-last aggregate).
+            self.health.barrier_wait(
+                shard, now - self._barrier_opened[epoch]
+            )
         self._shard_row(
             shard, state="at-barrier", epoch=epoch, step=body.get("step"),
             restarts=self.restarts[shard],
@@ -805,6 +852,11 @@ class ShardCoordinator:
             detail=degrade.detail,
         )
         self.diagnostics.degraded.append(event)
+        if self.health is not None:
+            self.health.event_total(
+                "degraded", len(self.diagnostics.degraded)
+            )
+            self.health.tick(force=True)
         self._publish_event(
             "shard-degraded",
             {"reason": degrade.reason, "shard": degrade.shard,

@@ -10,11 +10,15 @@ protocol, worker → coordinator:
 ``("started", {...})``
     Sent once the runner is built (and a resume snapshot restored),
     with the step the shard will continue from.
-``("heartbeat", {"step": ..., "phase": ...})``
+``("heartbeat", {"step": ..., "phase": ..., "rss_bytes": ...,
+"cpu_seconds": ...})``
     Throttled progress signal, emitted from inside long windows via
     :meth:`ShardRunner.run_window`'s ``on_step`` seam — the
     coordinator's stall detector feeds on any inbound traffic, so a
     shard grinding through a big window is never mistaken for hung.
+    Each heartbeat carries a :mod:`repro.health.resources` sample, so
+    the coordinator exposes per-shard RSS/CPU and the straggler
+    detector can attribute barrier skew.
 ``("window", {"epoch": ..., "fired": ..., "digest": ..., "step": ...})``
     The shard's window payload for one barrier epoch: per-population
     per-step global fired indices plus its SHA-256 digest (the
@@ -65,8 +69,11 @@ class _ShardHeartbeat:
     """Throttled heartbeat sender (pipe-tolerant, wall-clock gated)."""
 
     def __init__(self, conn, interval: float = HEARTBEAT_INTERVAL) -> None:
+        from repro.health.resources import ResourceSampler
+
         self.conn = conn
         self.interval = interval
+        self._resources = ResourceSampler()
         self._last = time.monotonic()
         self._broken = False
 
@@ -77,10 +84,13 @@ class _ShardHeartbeat:
         self._last = now
         if self._broken:
             return
+        sample = self._resources.sample()
         try:
             self.conn.send(
                 ("heartbeat",
-                 {"step": step, "phase": phase, "ts": time.time()})
+                 {"step": step, "phase": phase, "ts": time.time(),
+                  "rss_bytes": sample["rss_bytes"],
+                  "cpu_seconds": sample["cpu_seconds"]})
             )
         except (BrokenPipeError, OSError):
             self._broken = True

@@ -89,12 +89,12 @@ class InterruptHook(PhaseTimer):
         )
 
     def _partial_stats(self, signal_name: str, step: int) -> dict:
-        """A ``repro-run-stats/1``-shaped document for the partial run."""
+        """A ``repro-run-stats/2``-shaped document for the partial run."""
         simulator = self.simulator
         recorder = simulator.live_spikes
         total = sum(stats.seconds for stats in self.phases.values())
         return {
-            "schema": "repro-run-stats/1",
+            "schema": "repro-run-stats/2",
             "partial": True,
             "network": simulator.network.name,
             "backend": simulator.backend.name,

@@ -291,6 +291,39 @@ class Supervisor:
                 {"job": job},
             ).set(seconds)
 
+    def _worker_resources(self, job: str, data: dict) -> dict:
+        """Resource fields riding a heartbeat → gauges + status row.
+
+        Gauges (not counters) because each attempt's CPU clock starts
+        at zero — a retried worker's sample would make a counter go
+        backwards. Heartbeats from workers without the fields (or
+        platforms without a source) contribute nothing.
+        """
+        out = {}
+        rss = data.get("rss_bytes")
+        cpu = data.get("cpu_seconds")
+        if rss is not None:
+            out["rss_bytes"] = float(rss)
+        if cpu is not None:
+            out["cpu_seconds"] = float(cpu)
+        if out:
+            with self._lock:
+                if rss is not None:
+                    self.metrics.gauge(
+                        "worker_resident_memory_bytes",
+                        "Resident set size reported by the worker's "
+                        "latest heartbeat.",
+                        {"job": job},
+                    ).set(float(rss))
+                if cpu is not None:
+                    self.metrics.gauge(
+                        "worker_cpu_seconds",
+                        "CPU time consumed by the worker's current "
+                        "attempt.",
+                        {"job": job},
+                    ).set(float(cpu))
+        return out
+
     # -- sweep entry point -------------------------------------------------
 
     def run(self, jobs: Sequence[JobSpec]) -> SweepReport:
@@ -565,10 +598,11 @@ class Supervisor:
                     elif kind == "heartbeat":
                         steps_completed = int(data["step"])
                         self._observe_lag(lag)
+                        resources = self._worker_resources(spec.name, data)
                         self._job_row(
                             spec.name, state="running", backend=backend,
                             attempt=attempt, step=steps_completed,
-                            retries=attempt,
+                            retries=attempt, **resources,
                         )
                     elif kind == "log":
                         # A worker's structured log record riding the

@@ -9,10 +9,14 @@ result travels back over the same pipe:
 ``("started", {...})``
     Sent once the simulator is built, with ``resumed_from_step`` > 0
     when a previous attempt's checkpoint was restored.
-``("heartbeat", {"step": ..., "phase": ...})``
+``("heartbeat", {"step": ..., "phase": ..., "rss_bytes": ...,
+"cpu_seconds": ...})``
     The progress signal the supervisor's watchdog feeds on. Emitted
     from the per-phase event stream, throttled by wall clock so the
-    hot loop pays one ``monotonic()`` read per phase.
+    hot loop pays one ``monotonic()`` read per phase. Each heartbeat
+    carries a fresh :mod:`repro.health.resources` sample, so the
+    supervisor exposes per-job RSS/CPU gauges without a second wire
+    protocol (older supervisors ignore the extra keys).
 ``("done", {...})``
     Final spike digest, counts, run statistics, and the measured
     per-unit activity profile.
@@ -148,10 +152,13 @@ class _HeartbeatHook:
 
     def __init__(self, conn, interval: float = HEARTBEAT_INTERVAL,
                  flight=None, spans=None) -> None:
+        from repro.health.resources import ResourceSampler
+
         self.conn = conn
         self.interval = interval
         self.flight = flight
         self.spans = spans
+        self._resources = ResourceSampler()
         self._last = time.monotonic()
         self._broken = False
 
@@ -169,10 +176,13 @@ class _HeartbeatHook:
             self.spans.sync()
         if self._broken:
             return
+        sample = self._resources.sample()
         try:
             self.conn.send(
                 ("heartbeat",
-                 {"step": step, "phase": phase, "ts": time.time()})
+                 {"step": step, "phase": phase, "ts": time.time(),
+                  "rss_bytes": sample["rss_bytes"],
+                  "cpu_seconds": sample["cpu_seconds"]})
             )
         except (BrokenPipeError, OSError):
             # The supervisor went away; keep simulating — the final

@@ -207,7 +207,7 @@ class TestTelemetryCli:
         path = tmp_path / "stats.json"
         assert main(self.BASE + ["--stats-json", str(path)]) == 0
         doc = json.loads(path.read_text())
-        assert doc["schema"] == "repro-run-stats/1"
+        assert doc["schema"] == "repro-run-stats/2"
         assert doc["network"] == "Brunel"
         assert doc["n_steps"] == 60
         assert set(doc["phase_fractions"]) == {"stimulus", "neuron", "synapse"}

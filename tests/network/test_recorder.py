@@ -145,7 +145,7 @@ class TestPhaseFractions:
 
         result = Simulator(small_network, dt=DT, seed=3).run(10)
         doc = result.to_stats_dict()
-        assert doc["schema"] == "repro-run-stats/1"
+        assert doc["schema"] == "repro-run-stats/2"
         assert doc["n_steps"] == 10
         assert set(doc["phase_fractions"]) == set(PHASES)
         assert doc["counters"]["total_spikes"] == result.total_spikes()

@@ -30,7 +30,15 @@ _SAMPLE_RE = re.compile(
 
 def _representative_registry() -> MetricsRegistry:
     """The registry the golden file was generated from."""
+    from repro.health.resources import declare_process_metrics
+
     registry = MetricsRegistry()
+    # The process self-telemetry families every serving process
+    # exposes, pinned with fixed values (live values are unstable).
+    rss, cpu, fds = declare_process_metrics(registry)
+    rss.set(123456789.0)
+    cpu.set_total(12.5)
+    fds.set(32)
     registry.counter(
         "sim_steps_total",
         "Total simulated steps.",
@@ -126,6 +134,9 @@ class TestLineGrammar:
         )
         assert set(families) == {
             "labels_need_escaping",
+            "process_cpu_seconds_total",
+            "process_open_fds",
+            "process_resident_memory_bytes",
             "run_steps_per_sec",
             "sim_steps_total",
             "step_seconds",

@@ -288,3 +288,99 @@ class TestObservabilityServer:
             probe.bind(("127.0.0.1", port))
         finally:
             probe.close()
+
+
+class TestEventBusConcurrency:
+    def test_close_mid_publish_still_tallies_the_drop(self):
+        # publish() snapshots the subscriber list under the lock but
+        # offers outside it, so a subscriber can close between the
+        # snapshot and its offer. The in-flight offer must still count
+        # the drop on the bus total even though the subscriber is gone.
+        bus = EventBus(queue_depth=1)
+        subscription = bus.subscribe()
+        bus.publish("fill")  # queue now full
+        subscription.close()
+        assert bus.subscriber_count == 0
+        subscription.offer({"type": "in-flight"})  # what publish() does
+        assert subscription.dropped == 1
+        assert bus.dropped_total == 1
+        # And the accounting is visible on the /status sse block.
+        assert bus.stats()["dropped_events_total"] == 1
+
+    def test_concurrent_publishers_never_lose_seq_or_counts(self):
+        bus = EventBus(queue_depth=4)
+        with bus.subscribe():
+            threads = [
+                threading.Thread(
+                    target=lambda: [bus.publish("tick") for _ in range(50)]
+                )
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = bus.stats()
+        assert stats["published_total"] == 200
+        # Everything not queued was dropped — no event vanishes untallied.
+        assert stats["dropped_events_total"] == 200 - 4
+
+
+class TestStatusBoardConcurrency:
+    def test_merge_under_concurrent_writers_keeps_every_row(self):
+        status = StatusBoard(state="running")
+        n_writers, n_rounds = 8, 50
+        errors = []
+
+        def writer(index):
+            try:
+                for round_no in range(n_rounds):
+                    status.merge(
+                        "jobs", **{f"job_{index}": {"step": round_no}}
+                    )
+                    status.snapshot()
+            except Exception as error:  # pragma: no cover - fails the test
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,))
+            for i in range(n_writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        jobs = status.snapshot()["jobs"]
+        assert set(jobs) == {f"job_{i}" for i in range(n_writers)}
+        # Every row holds its own writer's final round — no torn rows.
+        assert all(
+            jobs[f"job_{i}"]["step"] == n_rounds - 1
+            for i in range(n_writers)
+        )
+
+
+class TestAlertsEndpoint:
+    def test_alerts_endpoint_serves_the_manager_document(self):
+        document = {
+            "schema": "repro-alerts/1",
+            "rules": [],
+            "counts": {"pending": 0, "firing": 1, "resolved": 0},
+            "fired_total": 1,
+            "alerts": [],
+        }
+        with ObservabilityServer(
+            alerts_source=lambda: document, port=0
+        ) as server:
+            code, body, _ = _get(f"{server.url}/alerts")
+            assert code == 200
+            assert json.loads(body) == document
+            code, body, _ = _get(f"{server.url}/")
+            assert "/alerts" in body
+
+    def test_alerts_endpoint_without_rules_is_404(self):
+        with ObservabilityServer(port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"{server.url}/alerts")
+            assert caught.value.code == 404
+            assert "no alert rules" in caught.value.read().decode("utf-8")

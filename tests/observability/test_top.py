@@ -159,3 +159,40 @@ class TestRunTop:
     def test_unreachable_server_on_first_fetch_raises(self):
         with pytest.raises(ReproError):
             run_top("http://127.0.0.1:1", iterations=1, stream=io.StringIO())
+
+
+class TestFormatTopHealthPanes:
+    def test_alert_pane_renders_counts_and_active_lines(self):
+        frame = format_top({
+            "state": "running",
+            "network": "Brunel",
+            "alerts": {
+                "rules": 8,
+                "pending": 1,
+                "firing": 2,
+                "resolved": 3,
+                "fired_total": 5,
+                "active": [
+                    "[critical] exploding-rate (exc): 99.0 Hz vs 1.2 Hz",
+                ],
+            },
+        })
+        assert "alerts: 2 firing, 1 pending, 3 resolved (8 rule(s))" in frame
+        assert "  ! [critical] exploding-rate (exc): 99.0 Hz vs 1.2 Hz" in frame
+
+    def test_sse_pane_renders_drop_accounting(self):
+        frame = format_top({
+            "state": "running",
+            "network": "Brunel",
+            "sse": {
+                "subscribers": 2,
+                "published_total": 41,
+                "dropped_events_total": 7,
+            },
+        })
+        assert "sse: 2 subscriber(s), 41 event(s) published, 7 dropped" in frame
+
+    def test_panes_absent_when_blocks_missing(self):
+        frame = format_top({"state": "running", "network": "Brunel"})
+        assert "alerts:" not in frame
+        assert "sse:" not in frame

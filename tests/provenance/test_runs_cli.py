@@ -72,6 +72,30 @@ class TestList:
         assert main(["runs", "--ledger", path, "list"]) == 0
         assert "no matching runs" in capsys.readouterr().out
 
+    def test_json_emits_one_entry_per_line_newest_first(
+        self, ledger, capsys
+    ):
+        assert main(["runs", "--ledger", ledger, "list", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        entries = [json.loads(line) for line in lines]
+        assert [e["run_id"] for e in entries] == [
+            "run-cccc55556666", "run-bbbb33334444", "run-aaaa11112222",
+        ]
+        # Full machine-readable entries, not the table's summary rows.
+        assert entries[0]["spike_digest"] == "c" * 64
+
+    def test_json_respects_limit_and_kind_filter(self, ledger, capsys):
+        assert main(
+            ["runs", "--ledger", ledger, "list", "--json", "--limit", "1"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert main(
+            ["runs", "--ledger", ledger, "list", "--json",
+             "--kind", "sweep"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == ""
+
 
 class TestShow:
     def test_show_by_prefix_prints_entry_json(self, ledger, capsys):

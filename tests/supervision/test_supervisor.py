@@ -57,7 +57,7 @@ class TestHappyPath:
         assert job.total_spikes == inline_baseline["total_spikes"]
         assert job.total_spikes > 0
         assert job.spike_digest == inline_baseline["spike_digest"]
-        assert job.stats["schema"] == "repro-run-stats/1"
+        assert job.stats["schema"] == "repro-run-stats/2"
         assert job.profile["name"] == "Nowotny et al."
         assert report.all_completed()
 
